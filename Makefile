@@ -1,0 +1,45 @@
+# PAST in Go — development targets. Everything is stdlib-only; plain
+# `go build ./...` works without this Makefile.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments experiments-full examples vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/transport/ ./internal/netsim/ ./internal/pastry/ ./internal/past/
+
+# One benchmark per paper table/figure plus the ablations (tiny scale).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate every table and figure at the default 300-node scale.
+experiments:
+	$(GO) run ./cmd/past-bench -exp all -scale bench | tee results_bench.txt
+
+# The paper's scale: 2250 nodes, ~1.8M files. Hours on a small machine.
+experiments-full:
+	$(GO) run ./cmd/past-bench -exp all -scale full | tee results_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/archival
+	$(GO) run ./examples/cdn
+	$(GO) run ./examples/churn
+	$(GO) run ./examples/squidreplay
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"past/internal/experiments"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// table1 and routing are cheap enough for CI; the heavyweight
+	// experiments are covered by internal/experiments tests and the
+	// root benchmarks.
+	for _, exp := range []string{"table1", "routing"} {
+		if err := run(exp, experiments.ScaleTiny, 1); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("tableX", experiments.ScaleTiny, 1); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}

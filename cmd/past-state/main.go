@@ -1,0 +1,126 @@
+// Command past-state reproduces Figure 1 of the paper: the state of a
+// Pastry node — routing table (rows of 2^b-1 entries, the shared prefix
+// with the present node highlighted), leaf set (smaller and larger
+// sides), and neighborhood set.
+//
+// It builds an emulated network with the figure's parameters (b=2, l=8)
+// and prints one node's state, nodeIds rendered as base-2^b digit
+// strings like the figure's base-4 ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"past/internal/id"
+	"past/internal/netsim"
+	"past/internal/pastry"
+	"past/internal/topology"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 64, "number of nodes in the emulated network")
+		b      = flag.Int("b", 2, "bits per digit (the figure uses 2, i.e. base 4)")
+		l      = flag.Int("l", 8, "leaf set size")
+		digits = flag.Int("digits", 8, "id digits to print")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*n, *b, *l, *digits, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "past-state:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, b, l, digits int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	net := netsim.New()
+	cfg := pastry.Config{B: b, L: l}
+	var nodes []*pastry.Node
+	plane := topology.DefaultPlane
+	for i := 0; i < n; i++ {
+		var nid id.Node
+		rng.Read(nid[:])
+		node := pastry.New(nid, net, cfg, nil, rng.Int63())
+		net.Register(nid, plane.RandomPoint(rng), node)
+		if i == 0 {
+			node.Bootstrap()
+		} else {
+			boot := nodes[rng.Intn(len(nodes))].ID()
+			if err := node.Join(boot); err != nil {
+				return err
+			}
+		}
+		nodes = append(nodes, node)
+	}
+
+	subject := nodes[rng.Intn(len(nodes))]
+	self := subject.ID()
+	render := func(x id.Node) string { return digitString(x, b, digits) }
+
+	fmt.Printf("NodeId %s   (b=%d, l=%d, %d nodes; ids shown as leading %d base-%d digits)\n\n",
+		render(self), b, l, n, digits, 1<<b)
+
+	fmt.Println("Routing table (row r: entries share the first r digits; own digit marked *)")
+	rows := digits // print only rows the id display covers
+	for r := 0; r < rows; r++ {
+		row := subject.TableRow(r)
+		var cells []string
+		for col, e := range row {
+			if col == self.Digit(r, b) {
+				cells = append(cells, fmt.Sprintf("[*%d*]", col))
+				continue
+			}
+			if e.IsZero() {
+				cells = append(cells, strings.Repeat("-", digits+2))
+				continue
+			}
+			cells = append(cells, formatEntry(e, b, r, digits))
+		}
+		fmt.Printf("  row %d: %s\n", r, strings.Join(cells, " "))
+	}
+
+	lo, hi := subject.LeafSides()
+	fmt.Println("\nLeaf set")
+	fmt.Printf("  SMALLER: %s\n", renderList(lo, render))
+	fmt.Printf("  LARGER:  %s\n", renderList(hi, render))
+
+	fmt.Println("\nNeighborhood set (proximally closest)")
+	fmt.Printf("  %s\n", renderList(subject.Neighborhood(), render))
+	return nil
+}
+
+// digitString renders the leading digits of an id in base 2^b.
+func digitString(x id.Node, b, digits int) string {
+	var sb strings.Builder
+	for i := 0; i < digits; i++ {
+		fmt.Fprintf(&sb, "%x", x.Digit(i, b))
+	}
+	return sb.String()
+}
+
+// formatEntry renders a routing-table entry split the way Figure 1 does:
+// common prefix - next digit - rest.
+func formatEntry(e id.Node, b, row, digits int) string {
+	s := digitString(e, b, digits)
+	if row >= len(s) {
+		return s
+	}
+	return s[:row] + "|" + s[row:row+1] + "|" + s[row+1:]
+}
+
+func renderList(ids []id.Node, render func(id.Node) string) string {
+	if len(ids) == 0 {
+		return "(empty)"
+	}
+	out := make([]string, len(ids))
+	for i, x := range ids {
+		out[i] = render(x)
+	}
+	return strings.Join(out, " ")
+}

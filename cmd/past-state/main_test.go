@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"past/internal/id"
+)
+
+func TestRunProducesState(t *testing.T) {
+	// run prints to stdout; here we only assert it completes without
+	// error on the Figure 1 parameters.
+	if err := run(32, 2, 8, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigitString(t *testing.T) {
+	n := id.Node{0x1B} // base-4 digits 0,1,2,3
+	if s := digitString(n, 2, 4); s != "0123" {
+		t.Fatalf("digitString = %q; want 0123", s)
+	}
+}
+
+func TestFormatEntry(t *testing.T) {
+	n := id.Node{0x1B}
+	if s := formatEntry(n, 2, 1, 4); s != "0|1|23" {
+		t.Fatalf("formatEntry = %q", s)
+	}
+	if s := formatEntry(n, 2, 9, 4); s != "0123" {
+		t.Fatalf("row beyond display = %q", s)
+	}
+}
+
+func TestRenderList(t *testing.T) {
+	r := func(x id.Node) string { return x.Short() }
+	if s := renderList(nil, r); s != "(empty)" {
+		t.Fatalf("empty list = %q", s)
+	}
+	if s := renderList([]id.Node{id.NodeFromUint64(1)}, r); s == "" {
+		t.Fatal("non-empty render empty")
+	}
+}

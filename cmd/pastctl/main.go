@@ -1,0 +1,139 @@
+// Command pastctl is the PAST client: it drives a running pastd node
+// through the client RPCs.
+//
+//	pastctl -node 127.0.0.1:7001 insert report.pdf < report.pdf
+//	pastctl -node 127.0.0.1:7001 lookup <fileId-hex> > report.pdf
+//	pastctl -node 127.0.0.1:7001 reclaim <fileId-hex>
+//	pastctl -node 127.0.0.1:7001 exists <fileId-hex>
+//	pastctl -node 127.0.0.1:7001 status
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/topology"
+	"past/internal/transport"
+	"past/internal/wire"
+)
+
+func main() {
+	var (
+		node = flag.String("node", "127.0.0.1:7001", "address of the PAST node acting as access point")
+		k    = flag.Int("k", 0, "replication factor for inserts (0: node default)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: pastctl [-node addr] insert <name> | lookup <fileId> | reclaim <fileId> | exists <fileId> | status")
+		os.Exit(2)
+	}
+
+	wire.RegisterWire()
+	past.RegisterWire()
+
+	var cid id.Node
+	if _, err := rand.Read(cid[:]); err != nil {
+		log.Fatalf("pastctl: %v", err)
+	}
+	tr, err := transport.New(cid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		log.Fatalf("pastctl: %v", err)
+	}
+	defer tr.Close()
+
+	if err := runCommand(tr, *node, *k, flag.Args()); err != nil {
+		log.Fatalf("pastctl: %v", err)
+	}
+}
+
+func runCommand(tr *transport.TCP, node string, k int, args []string) error {
+	switch args[0] {
+	case "insert":
+		if len(args) != 2 {
+			return fmt.Errorf("insert needs a file name (content on stdin)")
+		}
+		content, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("read stdin: %w", err)
+		}
+		reply, err := tr.InvokeAddr(node, &past.ClientInsert{Name: args[1], Content: content, K: k})
+		if err != nil {
+			return err
+		}
+		ir := reply.(*past.ClientInsertReply)
+		if !ir.OK {
+			return fmt.Errorf("insert rejected after %d attempts: %s", ir.Attempts, ir.Reason)
+		}
+		fmt.Printf("%s\n", ir.FileID)
+		fmt.Fprintf(os.Stderr, "inserted %d bytes in %d attempt(s)\n", len(content), ir.Attempts)
+		return nil
+
+	case "lookup", "exists":
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs a fileId", args[0])
+		}
+		f, err := id.ParseFile(args[1])
+		if err != nil {
+			return err
+		}
+		reply, err := tr.InvokeAddr(node, &past.ClientLookup{File: f})
+		if err != nil {
+			return err
+		}
+		lr := reply.(*past.ClientLookupReply)
+		if !lr.Found {
+			return fmt.Errorf("file %s not found", f.Short())
+		}
+		if args[0] == "exists" {
+			fmt.Printf("found: %d bytes, %d hops, cached=%v\n", lr.Size, lr.Hops, lr.FromCache)
+			return nil
+		}
+		if _, err := os.Stdout.Write(lr.Content); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "retrieved %d bytes in %d hops (cached=%v)\n", lr.Size, lr.Hops, lr.FromCache)
+		return nil
+
+	case "status":
+		reply, err := tr.InvokeAddr(node, &past.ClientStatus{})
+		if err != nil {
+			return err
+		}
+		s := reply.(*past.ClientStatusReply).Status
+		fmt.Printf("node %s  joined=%v\n", s.ID, s.Joined)
+		fmt.Printf("storage: %d / %d bytes used (%.1f%%), %d replicas (%d diverted-in)\n",
+			s.Used, s.Capacity, 100*float64(s.Used)/float64(max(1, s.Capacity)), s.Replicas, s.DivertedIn)
+		fmt.Printf("pointers: %d diverted-out, %d backup\n", s.PointersOut, s.BackupPtrs)
+		fmt.Printf("cache: %d entries, %d bytes, %d hits / %d misses\n",
+			s.CacheEntries, s.CacheBytes, s.CacheHits, s.CacheMisses)
+		fmt.Printf("overlay: leaf set %d, routing table %d entries, below-k events %d\n",
+			s.LeafSetSize, s.TableEntries, s.BelowKEvents)
+		return nil
+
+	case "reclaim":
+		if len(args) != 2 {
+			return fmt.Errorf("reclaim needs a fileId")
+		}
+		f, err := id.ParseFile(args[1])
+		if err != nil {
+			return err
+		}
+		reply, err := tr.InvokeAddr(node, &past.ClientReclaim{File: f})
+		if err != nil {
+			return err
+		}
+		rr := reply.(*past.ClientReclaimReply)
+		if !rr.Found {
+			return fmt.Errorf("file %s not found", f.Short())
+		}
+		fmt.Fprintf(os.Stderr, "reclaimed %d bytes\n", rr.Freed)
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", args[0])
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/pastry"
+	"past/internal/topology"
+	"past/internal/transport"
+	"past/internal/wire"
+)
+
+// startTestNode runs one bootstrapped PAST node over loopback TCP.
+func startTestNode(t *testing.T) (*transport.TCP, *past.Node) {
+	t.Helper()
+	wire.RegisterWire()
+	past.RegisterWire()
+	rng := rand.New(rand.NewSource(1))
+	var nid id.Node
+	rng.Read(nid[:])
+	tr, err := transport.New(nid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 8}
+	cfg.K = 1
+	n := past.New(nid, tr, cfg, 1<<20, 1)
+	tr.Serve(n)
+	n.Overlay().Bootstrap()
+	t.Cleanup(func() { tr.Close() })
+	return tr, n
+}
+
+func newClientTransport(t *testing.T) *transport.TCP {
+	t.Helper()
+	var cid id.Node
+	rand.New(rand.NewSource(2)).Read(cid[:])
+	ct, err := transport.New(cid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ct.Close() })
+	return ct
+}
+
+func TestRunCommandInsertLookupReclaim(t *testing.T) {
+	server, _ := startTestNode(t)
+	ct := newClientTransport(t)
+
+	// insert reads stdin: substitute a pipe.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdin := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = oldStdin }()
+	go func() {
+		w.WriteString("pastctl content")
+		w.Close()
+	}()
+
+	// Capture stdout for the fileId.
+	ro, wo, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = wo
+	insertErr := runCommand(ct, server.Addr(), 0, []string{"insert", "test.txt"})
+	wo.Close()
+	os.Stdout = oldStdout
+	if insertErr != nil {
+		t.Fatal(insertErr)
+	}
+	out := make([]byte, 256)
+	n, _ := ro.Read(out)
+	fidHex := strings.TrimSpace(string(out[:n]))
+	if _, err := id.ParseFile(fidHex); err != nil {
+		t.Fatalf("insert did not print a fileId: %q", fidHex)
+	}
+
+	if err := runCommand(ct, server.Addr(), 0, []string{"exists", fidHex}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCommand(ct, server.Addr(), 0, []string{"reclaim", fidHex}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCommand(ct, server.Addr(), 0, []string{"exists", fidHex}); err == nil {
+		t.Fatal("exists after reclaim must fail")
+	}
+}
+
+func TestRunCommandErrors(t *testing.T) {
+	ct := newClientTransport(t)
+	for _, args := range [][]string{
+		{"bogus"},
+		{"insert"},
+		{"lookup"},
+		{"lookup", "nothex"},
+		{"reclaim"},
+		{"reclaim", "zz"},
+	} {
+		if err := runCommand(ct, "127.0.0.1:1", 0, args); err == nil {
+			t.Fatalf("args %v must fail", args)
+		}
+	}
+}
+
+func TestRunCommandStatus(t *testing.T) {
+	server, node := startTestNode(t)
+	if _, err := node.Insert(past.InsertSpec{Name: "s", Content: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	ct := newClientTransport(t)
+	if err := runCommand(ct, server.Addr(), 0, []string{"status"}); err != nil {
+		t.Fatal(err)
+	}
+}

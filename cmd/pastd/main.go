@@ -1,0 +1,154 @@
+// Command pastd runs one PAST storage node over TCP.
+//
+// Start the first node of a network:
+//
+//	pastd -addr 127.0.0.1:7001 -capacity 64MB
+//
+// Join additional nodes to it:
+//
+//	pastd -addr 127.0.0.1:7002 -capacity 64MB -join 127.0.0.1:7001
+//
+// The node then accepts overlay traffic from peers and client requests
+// from pastctl. The proximity metric is an emulated 2-D coordinate
+// (-x/-y); a deployment would substitute network measurements.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	mrand "math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/store"
+	"past/internal/topology"
+	"past/internal/transport"
+	"past/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7001", "listen address (host:port; must be reachable by peers)")
+		capacity  = flag.String("capacity", "64MB", "advertised storage capacity (e.g. 512KB, 64MB, 2GB)")
+		dataDir   = flag.String("data", "", "data directory for persistent storage (empty: in-memory)")
+		join      = flag.String("join", "", "address of an existing node to join via (empty: bootstrap a new network)")
+		x         = flag.Float64("x", math.NaN(), "proximity-plane x coordinate (default random)")
+		y         = flag.Float64("y", math.NaN(), "proximity-plane y coordinate (default random)")
+		k         = flag.Int("k", 5, "replication factor")
+		leafSet   = flag.Int("l", 32, "Pastry leaf set size")
+		keepalive = flag.Duration("keepalive", 5*time.Second, "leaf-set keep-alive period")
+		seed      = flag.Int64("seed", 0, "node id seed (0: cryptographically random)")
+	)
+	flag.Parse()
+
+	capBytes, err := parseSize(*capacity)
+	if err != nil {
+		log.Fatalf("pastd: %v", err)
+	}
+
+	var nid id.Node
+	if *seed != 0 {
+		r := mrand.New(mrand.NewSource(*seed))
+		r.Read(nid[:])
+	} else if _, err := rand.Read(nid[:]); err != nil {
+		log.Fatalf("pastd: node id: %v", err)
+	}
+
+	pos := topology.Point{X: *x, Y: *y}
+	if math.IsNaN(pos.X) || math.IsNaN(pos.Y) {
+		r := mrand.New(mrand.NewSource(time.Now().UnixNano()))
+		pos = topology.DefaultPlane.RandomPoint(r)
+	}
+
+	wire.RegisterWire()
+	past.RegisterWire()
+
+	tr, err := transport.New(nid, *addr, pos)
+	if err != nil {
+		log.Fatalf("pastd: %v", err)
+	}
+	cfg := past.DefaultConfig()
+	cfg.K = *k
+	cfg.Pastry.L = *leafSet
+	var backend store.Backend
+	if *dataDir != "" {
+		backend, err = store.OpenDisk(*dataDir, capBytes)
+		if err != nil {
+			log.Fatalf("pastd: %v", err)
+		}
+		log.Printf("pastd: persistent storage at %s (%d replicas on disk)", *dataDir, backend.Len())
+	} else {
+		backend = store.New(capBytes)
+	}
+	node := past.NewWithStore(nid, tr, cfg, backend, int64(nid[0])<<8|int64(nid[1]))
+	tr.Serve(node)
+
+	if *join == "" {
+		node.Overlay().Bootstrap()
+		log.Printf("pastd: bootstrapped network; node %s listening on %s (capacity %d bytes)",
+			nid.Short(), tr.Addr(), capBytes)
+	} else {
+		bootID, err := tr.Bootstrap(*join)
+		if err != nil {
+			log.Fatalf("pastd: %v", err)
+		}
+		if err := node.Overlay().Join(bootID); err != nil {
+			log.Fatalf("pastd: join: %v", err)
+		}
+		log.Printf("pastd: node %s joined via %s; listening on %s", nid.Short(), *join, tr.Addr())
+	}
+
+	ticker := time.NewTicker(*keepalive)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			if dead := node.Overlay().CheckLeafSet(); len(dead) > 0 {
+				for _, d := range dead {
+					log.Printf("pastd: leaf-set member %s presumed failed", d.Short())
+				}
+			}
+		case <-sig:
+			log.Printf("pastd: leaving gracefully")
+			lr := node.Leave()
+			log.Printf("pastd: offloaded %d replicas (%d failed, %d owners notified)",
+				lr.Offloaded, lr.Failed, lr.OwnersNotified)
+			if err := tr.Close(); err != nil {
+				log.Printf("pastd: close: %v", err)
+			}
+			return
+		}
+	}
+}
+
+// parseSize parses sizes like "512", "64KB", "2MB", "1GB".
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "B"):
+		u = strings.TrimSuffix(u, "B")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}

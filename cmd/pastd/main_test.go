@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"512", 512, true},
+		{"512B", 512, true},
+		{"4KB", 4 << 10, true},
+		{"64MB", 64 << 20, true},
+		{"2GB", 2 << 30, true},
+		{" 8 MB ", 8 << 20, true},
+		{"1gb", 1 << 30, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"-5MB", 0, false},
+		{"12TB", 0, false}, // unsupported suffix -> parse failure
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("parseSize(%q) succeeded; want error", c.in)
+		}
+	}
+}

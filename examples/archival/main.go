@@ -1,0 +1,132 @@
+// Archival: the paper's motivating use case — backup without physical
+// media transport. A client with a smartcard archives a directory's
+// worth of files under a storage quota, the network loses nodes, and
+// every archive remains retrievable and verifiable because PAST
+// maintains k diverse replicas per file and re-replicates after
+// failures.
+//
+//	go run ./examples/archival
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"past/internal/cert"
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/pastry"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// A certificate authority (the smartcard issuer) and a user card
+	// with a 64 MB storage quota.
+	issuer, err := cert.NewIssuer(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	card, err := issuer.IssueCard(rng, 64<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Certificate verification on: storage nodes check file
+	// certificates before accepting replicas, and lookups verify
+	// content hashes end to end.
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 16}
+	cfg.K = 3
+	cfg.VerifyCerts = true
+	cfg.Issuer = issuer.PublicKey()
+
+	cluster, err := past.NewCluster(past.ClusterSpec{
+		N:        40,
+		Cfg:      cfg,
+		Capacity: func(int, *rand.Rand) int64 { return 8 << 20 },
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Storage nodes need smartcards of their own to issue store and
+	// reclaim receipts.
+	for _, n := range cluster.Nodes {
+		nodeCard, err := issuer.IssueCard(rng, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n.SetSmartcard(nodeCard)
+	}
+
+	// Archive a batch of files.
+	type archive struct {
+		name    string
+		content []byte
+		fid     id.File
+	}
+	var archives []archive
+	ap := cluster.Nodes[0]
+	for i := 0; i < 12; i++ {
+		a := archive{name: fmt.Sprintf("backup/2001-11/vol%02d.tar", i)}
+		a.content = make([]byte, 4096+rng.Intn(32768))
+		rng.Read(a.content)
+		res, err := ap.Insert(past.InsertSpec{Name: a.name, Content: a.content, Owner: card})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.OK {
+			log.Fatalf("archive %s rejected: %s", a.name, res.Reason)
+		}
+		// The store receipts prove k replicas exist.
+		if len(res.Receipts) != cfg.K {
+			log.Fatalf("expected %d store receipts, got %d", cfg.K, len(res.Receipts))
+		}
+		a.fid = res.FileID
+		archives = append(archives, a)
+	}
+	fmt.Printf("archived %d files; quota used %d of %d bytes\n",
+		len(archives), card.Quota().Used(), card.Quota().Limit())
+
+	// Disaster strikes: five storage nodes fail.
+	alive := cluster.Net.AliveNodes()
+	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	failed := 0
+	for _, nid := range alive {
+		if nid == ap.ID() {
+			continue
+		}
+		cluster.Fail(nid)
+		failed++
+		if failed == 5 {
+			break
+		}
+	}
+	cluster.Maintain() // keep-alive rounds detect failures...
+	cluster.Maintain() // ...and maintenance re-creates lost replicas
+	fmt.Printf("%d nodes failed; leaf sets repaired and replicas re-created\n", failed)
+
+	// Every archive is still retrievable, from any access point, and
+	// the content is verified against the file certificate's hash.
+	for _, a := range archives {
+		got, err := cluster.RandomAliveNode().Lookup(a.fid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !got.Found || !bytes.Equal(got.Content, a.content) {
+			log.Fatalf("archive %s lost or corrupted", a.name)
+		}
+	}
+	fmt.Printf("all %d archives verified intact after the failures\n", len(archives))
+
+	// Retire one archive; the reclaim credits the quota.
+	before := card.Quota().Used()
+	if _, err := ap.Reclaim(archives[0].fid, card); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reclaimed %q: quota %d -> %d bytes\n",
+		archives[0].name, before, card.Quota().Used())
+}

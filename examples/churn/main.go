@@ -1,0 +1,121 @@
+// Churn: a live demonstration of the storage invariant under node
+// arrival, failure, and recovery (section 3.5). Files are inserted,
+// then the network churns for several epochs — nodes fail, new nodes
+// join, failed nodes recover — while every file stays retrievable and
+// the "k replicas (or diverted-replica pointers) on the k closest
+// nodes" invariant is re-established after every epoch.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/pastry"
+	"past/internal/topology"
+)
+
+func main() {
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 16}
+	cfg.K = 3
+
+	cluster, err := past.NewCluster(past.ClusterSpec{
+		N:        60,
+		Cfg:      cfg,
+		Capacity: func(int, *rand.Rand) int64 { return 8 << 20 },
+		Seed:     31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	client := cluster.Nodes[0]
+
+	var files []id.File
+	for i := 0; i < 80; i++ {
+		res, err := client.Insert(past.InsertSpec{
+			Name: fmt.Sprintf("doc-%03d", i),
+			Size: int64(1024 + rng.Intn(16<<10)),
+		})
+		if err != nil || !res.OK {
+			log.Fatalf("insert %d: %v %+v", i, err, res)
+		}
+		files = append(files, res.FileID)
+	}
+	fmt.Printf("inserted %d files into a %d-node network\n", len(files), len(cluster.Nodes))
+
+	downLeaf := make(map[id.Node][]id.Node) // failed node -> last leaf set
+	for epoch := 1; epoch <= 4; epoch++ {
+		// Fail two random nodes (never the client).
+		alive := cluster.Net.AliveNodes()
+		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+		failed := 0
+		for _, nid := range alive {
+			if nid == client.ID() {
+				continue
+			}
+			downLeaf[nid] = cluster.ByID[nid].Overlay().LeafSet()
+			cluster.Fail(nid)
+			failed++
+			if failed == 2 {
+				break
+			}
+		}
+
+		// One previously failed node recovers (if any are down).
+		recovered := 0
+		for nid, leaf := range downLeaf {
+			cluster.Recover(nid)
+			if err := cluster.ByID[nid].Overlay().Rejoin(leaf); err != nil {
+				log.Fatalf("epoch %d: rejoin: %v", epoch, err)
+			}
+			delete(downLeaf, nid)
+			recovered++
+			break
+		}
+
+		// A brand-new node joins.
+		var nid id.Node
+		rng.Read(nid[:])
+		newcomer := past.New(nid, cluster.Net, cfg, 8<<20, rng.Int63())
+		pos := topology.DefaultPlane.RandomPoint(rng)
+		cluster.Net.Register(nid, pos, newcomer)
+		boot := cluster.Net.AliveNodes()[0]
+		if err := newcomer.Overlay().Join(boot); err != nil {
+			log.Fatalf("epoch %d: join: %v", epoch, err)
+		}
+		cluster.Nodes = append(cluster.Nodes, newcomer)
+		cluster.ByID[nid] = newcomer
+
+		// Keep-alive rounds repair leaf sets; the repairs trigger the
+		// replica maintenance of section 3.5.
+		cluster.Maintain()
+		cluster.Maintain()
+
+		// Verify: every file retrievable AND the invariant holds.
+		for _, f := range files {
+			got, err := client.Lookup(f)
+			if err != nil || !got.Found {
+				log.Fatalf("epoch %d: file %s lost: %v", epoch, f.Short(), err)
+			}
+			for _, owner := range cluster.GlobalClosest(f.Key(), cfg.K) {
+				n := cluster.ByID[owner]
+				if n.HasReplica(f) {
+					continue
+				}
+				if target, ok := n.HasPointer(f); ok && cluster.Net.Alive(target) && cluster.ByID[target].HasReplica(f) {
+					continue
+				}
+				log.Fatalf("epoch %d: invariant broken at %s for %s", epoch, owner.Short(), f.Short())
+			}
+		}
+		fmt.Printf("epoch %d: -%d failed, +1 joined, +%d recovered -> invariant holds, all %d files retrievable\n",
+			epoch, failed, recovered, len(files))
+	}
+	fmt.Println("storage invariants maintained throughout the churn (paper, section 5)")
+}

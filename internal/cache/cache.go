@@ -1,0 +1,260 @@
+// Package cache implements PAST's file cache (section 4 of the paper).
+//
+// PAST nodes use the unused portion of their advertised disk space to
+// cache files that are routed through them during insert and lookup
+// operations; cached copies can be evicted at any time, in particular
+// when the node accepts a new primary or diverted replica.
+//
+// The insertion policy caches a file if its size is less than a fraction
+// c of the node's current cache capacity. The replacement policy is
+// GreedyDual-Size (Cao & Irani) with cost c(d)=1, which maximizes hit
+// rate: every cached file d carries a weight H(d) = L + c(d)/s(d); the
+// file with minimal H is evicted and its weight becomes the new
+// inflation value L. LRU and FIFO are provided for comparison (the
+// paper's Figure 8 compares GD-S against LRU and no caching).
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"past/internal/id"
+)
+
+// Policy selects the replacement algorithm.
+type Policy uint8
+
+// Replacement policies.
+const (
+	// None disables caching entirely.
+	None Policy = iota
+	// LRU evicts the least recently used file.
+	LRU
+	// GDS is GreedyDual-Size with uniform cost, the paper's policy.
+	GDS
+	// FIFO evicts the oldest-inserted file; used by ablation benches.
+	FIFO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case None:
+		return "none"
+	case LRU:
+		return "lru"
+	case GDS:
+		return "gd-s"
+	case FIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy converts a policy name to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "none":
+		return None, nil
+	case "lru":
+		return LRU, nil
+	case "gd-s", "gds":
+		return GDS, nil
+	case "fifo":
+		return FIFO, nil
+	}
+	return None, fmt.Errorf("cache: unknown policy %q", s)
+}
+
+type item struct {
+	file    id.File
+	size    int64
+	content []byte  // nil when the owner runs size-only accounting
+	pri     float64 // eviction priority: smallest evicted first
+	idx     int     // heap index
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return h[i].pri < h[j].pri }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *itemHeap) Push(x any)        { it := x.(*item); it.idx = len(*h); *h = append(*h, it) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Cache is one node's file cache. Not safe for concurrent use; the
+// owning node serializes access.
+type Cache struct {
+	policy  Policy
+	c       float64 // insertion fraction (the paper's c parameter)
+	limit   int64
+	used    int64
+	tick    float64
+	inflate float64 // GD-S aging value L
+	items   map[id.File]*item
+	h       itemHeap
+
+	hits, misses int64
+	evictions    int64
+}
+
+// New creates a cache with the given replacement policy and insertion
+// fraction c (the paper's experiments use c=1). The limit starts at 0;
+// the owning node sets it to its free space via SetLimit.
+func New(policy Policy, c float64) *Cache {
+	if c <= 0 {
+		panic("cache: insertion fraction must be positive")
+	}
+	return &Cache{policy: policy, c: c, items: make(map[id.File]*item)}
+}
+
+// Policy returns the replacement policy.
+func (ca *Cache) Policy() Policy { return ca.policy }
+
+// Used returns bytes currently cached.
+func (ca *Cache) Used() int64 { return ca.used }
+
+// Limit returns the current capacity.
+func (ca *Cache) Limit() int64 { return ca.limit }
+
+// Len returns the number of cached files.
+func (ca *Cache) Len() int { return len(ca.items) }
+
+// Stats returns cumulative hits, misses, and evictions.
+func (ca *Cache) Stats() (hits, misses, evictions int64) {
+	return ca.hits, ca.misses, ca.evictions
+}
+
+// SetLimit changes the cache capacity, evicting as needed. The owning
+// PAST node calls this whenever its replica store grows or shrinks: the
+// cache lives in whatever space replicas do not occupy, which is why
+// cache performance degrades gracefully as utilization rises.
+func (ca *Cache) SetLimit(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	ca.limit = n
+	ca.evictTo(ca.limit)
+}
+
+// priority computes the eviction priority of a (re)used file.
+func (ca *Cache) priority(size int64, onHit bool) float64 {
+	switch ca.policy {
+	case GDS:
+		s := size
+		if s < 1 {
+			s = 1
+		}
+		return ca.inflate + 1/float64(s) // H = L + c(d)/s(d), c(d)=1
+	case LRU:
+		ca.tick++
+		return ca.tick
+	case FIFO:
+		if onHit {
+			return -1 // sentinel: FIFO does not reorder on hit
+		}
+		ca.tick++
+		return ca.tick
+	default:
+		return 0
+	}
+}
+
+// Insert offers a file to the cache; it reports whether the file was
+// cached (or refreshed, if already present). Files of at least c×limit
+// bytes are not cached, per the paper's insertion policy. content may be
+// nil for size-only accounting (the trace experiments), in which case
+// Get returns a nil payload.
+func (ca *Cache) Insert(f id.File, size int64, content []byte) bool {
+	if ca.policy == None || size < 0 {
+		return false
+	}
+	if it, ok := ca.items[f]; ok {
+		ca.touch(it)
+		return true
+	}
+	if float64(size) >= ca.c*float64(ca.limit) {
+		return false
+	}
+	if size > ca.limit {
+		return false
+	}
+	ca.evictTo(ca.limit - size)
+	it := &item{file: f, size: size, content: content, pri: ca.priority(size, false)}
+	ca.items[f] = it
+	heap.Push(&ca.h, it)
+	ca.used += size
+	return true
+}
+
+// Access looks up f, updating recency state and hit/miss counters.
+func (ca *Cache) Access(f id.File) bool {
+	_, _, ok := ca.Get(f)
+	return ok
+}
+
+// Get looks up f, returning its size and content on a hit. Recency state
+// and the hit/miss counters are updated.
+func (ca *Cache) Get(f id.File) (size int64, content []byte, ok bool) {
+	it, found := ca.items[f]
+	if !found {
+		ca.misses++
+		return 0, nil, false
+	}
+	ca.hits++
+	ca.touch(it)
+	return it.size, it.content, true
+}
+
+// Contains reports whether f is cached, without touching any state.
+func (ca *Cache) Contains(f id.File) bool {
+	_, ok := ca.items[f]
+	return ok
+}
+
+func (ca *Cache) touch(it *item) {
+	p := ca.priority(it.size, true)
+	if p < 0 {
+		return // FIFO: no reorder on hit
+	}
+	it.pri = p
+	heap.Fix(&ca.h, it.idx)
+}
+
+// Remove drops f from the cache if present.
+func (ca *Cache) Remove(f id.File) bool {
+	it, ok := ca.items[f]
+	if !ok {
+		return false
+	}
+	heap.Remove(&ca.h, it.idx)
+	delete(ca.items, f)
+	ca.used -= it.size
+	return true
+}
+
+// evictTo evicts minimum-priority files until used <= target.
+func (ca *Cache) evictTo(target int64) {
+	if target < 0 {
+		target = 0
+	}
+	for ca.used > target && len(ca.h) > 0 {
+		it := heap.Pop(&ca.h).(*item)
+		delete(ca.items, it.file)
+		ca.used -= it.size
+		ca.evictions++
+		if ca.policy == GDS {
+			// GreedyDual-Size aging: the evicted weight becomes the new
+			// inflation value, so long-resident files decay relative to
+			// fresh ones without a full-heap subtraction.
+			ca.inflate = it.pri
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestFragmentationExperiment(t *testing.T) {
+	r, err := RunFragmentation(ScaleTiny, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFragmentation(r))
+	if r.Utilization < 0.7 {
+		t.Fatalf("fill reached only %.1f%% utilization", 100*r.Utilization)
+	}
+	// The section 3.4/3.6 claims: fragmentation stores large files that
+	// whole-file insertion rejects, and RS fragments cost less storage.
+	if r.FragOK <= r.WholeOK {
+		t.Fatalf("fragmented %d <= whole %d successes", r.FragOK, r.WholeOK)
+	}
+	if r.FetchOKFrag != r.FragOK || r.FetchOKRS != r.RSOK {
+		t.Fatal("stored objects not retrievable")
+	}
+	if r.RSOK > 0 && r.FragOK > 0 {
+		perRS := float64(r.RSBytes) / float64(r.RSOK)
+		perFrag := float64(r.FragBytes) / float64(r.FragOK)
+		if perRS >= perFrag {
+			t.Fatalf("RS per-object bytes %.0f not below replicated %.0f", perRS, perFrag)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"past/internal/cache"
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/trace"
+)
+
+// The overhead experiment quantifies section 3.3's cost accounting:
+// "The overhead of diverting a replica is an additional entry in the
+// file tables of two nodes, two additional RPCs during insert and one
+// additional RPC during a lookup that reaches the diverted copy", and
+// the claim that the overhead "remains acceptable" even at high
+// utilization. It measures overlay messages per insert and fetch
+// distance per lookup as utilization rises.
+
+// OverheadBucket aggregates one utilization decile.
+type OverheadBucket struct {
+	UtilLo        float64
+	Inserts       int
+	MsgsPerInsert float64
+	Lookups       int
+	HopsPerLookup float64
+	IndirectPct   float64 // lookups that chased a diverted-replica pointer
+}
+
+// OverheadResult is the measured series.
+type OverheadResult struct {
+	Buckets   []OverheadBucket
+	FinalUtil float64
+	// ByType decomposes total traffic by message type (whole run,
+	// normalized per insert), which makes the paper's "two additional
+	// RPCs" accounting directly visible: the diversion-related types
+	// (free-space queries, divert stores, pointer installs) appear only
+	// once diversion begins.
+	ByType map[string]float64
+}
+
+// RunOverhead replays the web workload, sampling per-insert message
+// counts from the emulated network and probing lookups of previously
+// inserted files (caching disabled so fetch distance reflects replica
+// placement, not cache luck).
+func RunOverhead(sc Scale, seed int64) (*OverheadResult, error) {
+	cfg := pastConfig(4, 32, 5, 0.1, 0.05, 3, cache.None, nil)
+	caps := D1.Sample(rand.New(rand.NewSource(seed^0xCAFE)), sc.Nodes, 1)
+	var totalCap int64
+	for _, c := range caps {
+		totalCap += c
+	}
+	cluster, err := past.NewCluster(past.ClusterSpec{
+		N:        sc.Nodes,
+		Cfg:      cfg,
+		Capacity: func(i int, _ *rand.Rand) int64 { return caps[i] },
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	w := trace.InsertOnly(filesFor(D1, sc.Nodes, 5, 1, webMeanSize, DefaultOvershoot),
+		trace.NLANRSizes(), seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x0ead))
+
+	const buckets = 10
+	type agg struct {
+		inserts, lookups, indirect int
+		msgs, hops                 float64
+	}
+	aggs := make([]agg, buckets)
+	bucketOf := func() int {
+		u := float64(cluster.StoredBytes()) / float64(totalCap)
+		b := int(u * buckets)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		return b
+	}
+
+	var inserted []id.File
+	for i, ev := range w.Events {
+		b := bucketOf()
+		client := cluster.Nodes[rng.Intn(len(cluster.Nodes))]
+		before := cluster.Net.Messages()
+		res, err := client.Insert(past.InsertSpec{
+			Name: trace.FileName(ev.File), Size: ev.Size, Salt: uint64(ev.File) + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		aggs[b].inserts++
+		aggs[b].msgs += float64(cluster.Net.Messages() - before)
+		if res.OK {
+			inserted = append(inserted, res.FileID)
+		}
+
+		// Probe lookups every 50 inserts.
+		if i%50 == 0 && len(inserted) > 0 {
+			for p := 0; p < 5; p++ {
+				f := inserted[rng.Intn(len(inserted))]
+				lr, err := cluster.Nodes[rng.Intn(len(cluster.Nodes))].Lookup(f)
+				if err != nil {
+					return nil, err
+				}
+				if !lr.Found {
+					continue
+				}
+				lb := bucketOf()
+				aggs[lb].lookups++
+				aggs[lb].hops += float64(lr.Hops)
+				if lr.Indirect {
+					aggs[lb].indirect++
+				}
+			}
+		}
+	}
+
+	out := &OverheadResult{FinalUtil: cluster.Utilization(), ByType: map[string]float64{}}
+	totalInserts := 0
+	for _, a := range aggs {
+		totalInserts += a.inserts
+	}
+	if totalInserts > 0 {
+		for name, count := range cluster.Net.MessagesByType() {
+			out.ByType[name] = float64(count) / float64(totalInserts)
+		}
+	}
+	for b, a := range aggs {
+		if a.inserts == 0 && a.lookups == 0 {
+			continue
+		}
+		ob := OverheadBucket{UtilLo: float64(b) / buckets, Inserts: a.inserts, Lookups: a.lookups}
+		if a.inserts > 0 {
+			ob.MsgsPerInsert = a.msgs / float64(a.inserts)
+		}
+		if a.lookups > 0 {
+			ob.HopsPerLookup = a.hops / float64(a.lookups)
+			ob.IndirectPct = 100 * float64(a.indirect) / float64(a.lookups)
+		}
+		out.Buckets = append(out.Buckets, ob)
+	}
+	return out, nil
+}
+
+// RenderOverhead formats the series.
+func RenderOverhead(r *OverheadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storage-management overhead vs utilization (section 3.3)\n")
+	fmt.Fprintf(&b, "%8s %10s %12s %10s %12s %12s\n",
+		"util", "inserts", "msgs/insert", "lookups", "hops/lookup", "indirect%")
+	for _, ob := range r.Buckets {
+		fmt.Fprintf(&b, "%6.0f%%+ %10d %12.1f %10d %12.2f %11.1f%%\n",
+			100*ob.UtilLo, ob.Inserts, ob.MsgsPerInsert, ob.Lookups, ob.HopsPerLookup, ob.IndirectPct)
+	}
+	if len(r.ByType) > 0 {
+		fmt.Fprintf(&b, "message mix over the whole run (per insert):\n")
+		names := make([]string, 0, len(r.ByType))
+		for name := range r.ByType {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "  %-32s %8.2f\n", name, r.ByType[name])
+		}
+	}
+	b.WriteString("paper: a diverted replica costs 2 extra insert RPCs and 1 extra lookup RPC;\n")
+	b.WriteString("overhead moderate below 95% utilization and acceptable beyond\n")
+	b.WriteString("(note: this implementation also queries leaf-set free space explicitly at\n")
+	b.WriteString("diversion time, which a deployment piggybacks on keep-alives)\n")
+	return b.String()
+}

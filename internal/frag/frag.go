@@ -1,0 +1,383 @@
+// Package frag layers file fragmentation and erasure coding on top of
+// PAST — the recourse the paper prescribes for failed inserts ("an
+// application may choose to retry the operation with a smaller file
+// size, e.g. by fragmenting the file, and/or a smaller number of
+// replicas", section 3.4) and the file-encoding direction it leaves as
+// future work (section 3.6).
+//
+// A large file is split into fragments, each inserted as an independent
+// PAST file; a manifest recording the fragment fileIds is inserted last
+// and its fileId identifies the whole object. Two redundancy modes:
+//
+//   - Replicated: each fragment carries PAST's usual k replicas; all
+//     fragments are needed to reassemble.
+//   - ReedSolomon: fragments are RS(n, m) coded and inserted with k=1;
+//     any n of the n+m fragments reassemble the file. Storage overhead
+//     falls from k to (n+m)/n at equivalent loss tolerance, exactly the
+//     trade-off section 3.6 sketches.
+//
+// Because each fragment has its own fileId, fragments scatter uniformly
+// over the nodeId space, so a file too large for any single node's
+// acceptance policy can still be stored at high global utilization, and
+// retrieval parallelizes across nodes (the striping benefit the paper
+// notes).
+package frag
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/rs"
+)
+
+// Mode selects the redundancy scheme.
+type Mode uint8
+
+// Redundancy modes.
+const (
+	// Replicated stores each fragment with PAST's k replicas.
+	Replicated Mode = iota
+	// ReedSolomon stores RS-coded fragments with a single replica each.
+	ReedSolomon
+)
+
+func (m Mode) String() string {
+	if m == ReedSolomon {
+		return "reed-solomon"
+	}
+	return "replicated"
+}
+
+// Errors returned by the fragment store.
+var (
+	ErrManifest   = errors.New("frag: malformed manifest")
+	ErrFragment   = errors.New("frag: fragment unavailable or corrupt")
+	ErrInsert     = errors.New("frag: fragment insertion failed")
+	ErrBadOptions = errors.New("frag: invalid options")
+)
+
+// Options configures a Store.
+type Options struct {
+	// FragmentSize is the maximum fragment payload (default 64 KiB).
+	FragmentSize int
+	// Mode selects replication or RS coding.
+	Mode Mode
+	// DataShards/ParityShards configure RS(n, m) (defaults 8 and 4,
+	// tolerating 4 losses at 1.5x storage).
+	DataShards, ParityShards int
+	// K overrides the replication factor for Replicated fragments and
+	// the manifest (0: node default).
+	K int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FragmentSize == 0 {
+		o.FragmentSize = 64 << 10
+	}
+	if o.DataShards == 0 {
+		o.DataShards = 8
+	}
+	if o.ParityShards == 0 {
+		o.ParityShards = 4
+	}
+	return o
+}
+
+// Store fragments and reassembles files through a PAST access point.
+type Store struct {
+	node *past.Node
+	opt  Options
+	enc  *rs.Encoder
+}
+
+// NewStore creates a fragment store over the given access point.
+func NewStore(node *past.Node, opt Options) (*Store, error) {
+	opt = opt.withDefaults()
+	if opt.FragmentSize < 1 {
+		return nil, fmt.Errorf("%w: fragment size %d", ErrBadOptions, opt.FragmentSize)
+	}
+	s := &Store{node: node, opt: opt}
+	if opt.Mode == ReedSolomon {
+		enc, err := rs.New(opt.DataShards, opt.ParityShards)
+		if err != nil {
+			return nil, err
+		}
+		s.enc = enc
+	}
+	return s, nil
+}
+
+// manifest is the metadata object stored in PAST under the object's
+// name; its fileId identifies the whole fragmented object. In RS mode
+// the file is coded in groups of Data x GroupUnit bytes, each group
+// yielding Data+Parity fragments (FragIDs is group-major), so every
+// group independently tolerates Parity losses while fragments stay
+// near the configured fragment size.
+type manifest struct {
+	Mode      Mode
+	Size      int64 // original file size
+	Data      int32 // RS data shards per group
+	Parity    int32 // RS parity shards per group
+	Groups    int32 // RS groups (1 in Replicated mode)
+	GroupUnit int32 // RS shard payload unit (the configured FragmentSize)
+	Sum       [20]byte
+	FragIDs   []id.File
+}
+
+const manifestMagic = "PASTFRAG2"
+
+func (m *manifest) encode() []byte {
+	var b bytes.Buffer
+	b.WriteString(manifestMagic)
+	b.WriteByte(byte(m.Mode))
+	binary.Write(&b, binary.BigEndian, m.Size)
+	binary.Write(&b, binary.BigEndian, m.Data)
+	binary.Write(&b, binary.BigEndian, m.Parity)
+	binary.Write(&b, binary.BigEndian, m.Groups)
+	binary.Write(&b, binary.BigEndian, m.GroupUnit)
+	b.Write(m.Sum[:])
+	binary.Write(&b, binary.BigEndian, int32(len(m.FragIDs)))
+	for _, f := range m.FragIDs {
+		b.Write(f[:])
+	}
+	return b.Bytes()
+}
+
+func decodeManifest(raw []byte) (*manifest, error) {
+	r := bytes.NewReader(raw)
+	magic := make([]byte, len(manifestMagic))
+	if _, err := r.Read(magic); err != nil || string(magic) != manifestMagic {
+		return nil, ErrManifest
+	}
+	var m manifest
+	mode, err := r.ReadByte()
+	if err != nil {
+		return nil, ErrManifest
+	}
+	m.Mode = Mode(mode)
+	for _, dst := range []any{&m.Size, &m.Data, &m.Parity, &m.Groups, &m.GroupUnit} {
+		if err := binary.Read(r, binary.BigEndian, dst); err != nil {
+			return nil, ErrManifest
+		}
+	}
+	if _, err := r.Read(m.Sum[:]); err != nil {
+		return nil, ErrManifest
+	}
+	var n int32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil || n < 0 || int(n) > r.Len()/id.FileBytes {
+		return nil, ErrManifest
+	}
+	m.FragIDs = make([]id.File, n)
+	for i := range m.FragIDs {
+		if _, err := r.Read(m.FragIDs[i][:]); err != nil {
+			return nil, ErrManifest
+		}
+	}
+	return &m, nil
+}
+
+// Result reports a fragmented insertion.
+type Result struct {
+	// ManifestID retrieves the object.
+	ManifestID id.File
+	// Fragments is the number of fragment files inserted.
+	Fragments int
+	// StoredBytes is the total replica bytes consumed (fragments x
+	// replication), for overhead comparisons.
+	StoredBytes int64
+}
+
+// Insert fragments content and stores it under name. The returned
+// manifest id retrieves the object with Fetch.
+func (s *Store) Insert(name string, content []byte) (*Result, error) {
+	if len(content) == 0 {
+		return nil, fmt.Errorf("%w: empty content", ErrBadOptions)
+	}
+	m := &manifest{
+		Mode: s.opt.Mode,
+		Size: int64(len(content)),
+		Sum:  sha1.Sum(content),
+	}
+
+	var frags [][]byte
+	fragK := s.opt.K
+	switch s.opt.Mode {
+	case Replicated:
+		for off := 0; off < len(content); off += s.opt.FragmentSize {
+			end := off + s.opt.FragmentSize
+			if end > len(content) {
+				end = len(content)
+			}
+			frags = append(frags, content[off:end])
+		}
+		m.Groups = 1
+	case ReedSolomon:
+		// Code the file in groups of DataShards x FragmentSize so
+		// fragments stay near the configured size regardless of the
+		// file size; each group independently tolerates ParityShards
+		// losses.
+		groupBytes := s.opt.DataShards * s.opt.FragmentSize
+		for off := 0; off < len(content); off += groupBytes {
+			end := off + groupBytes
+			if end > len(content) {
+				end = len(content)
+			}
+			shards, err := s.enc.Split(content[off:end])
+			if err != nil {
+				return nil, err
+			}
+			if err := s.enc.Encode(shards); err != nil {
+				return nil, err
+			}
+			frags = append(frags, shards...)
+			m.Groups++
+		}
+		m.Data = int32(s.opt.DataShards)
+		m.Parity = int32(s.opt.ParityShards)
+		m.GroupUnit = int32(s.opt.FragmentSize)
+		fragK = 1 // redundancy comes from parity shards, not replicas
+	default:
+		return nil, fmt.Errorf("%w: mode %d", ErrBadOptions, s.opt.Mode)
+	}
+
+	res := &Result{Fragments: len(frags)}
+	for i, f := range frags {
+		ins, err := s.node.Insert(past.InsertSpec{
+			Name:    fmt.Sprintf("%s#frag%d", name, i),
+			Content: f,
+			K:       fragK,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !ins.OK {
+			return nil, fmt.Errorf("%w: fragment %d of %d: %s", ErrInsert, i, len(frags), ins.Reason)
+		}
+		m.FragIDs = append(m.FragIDs, ins.FileID)
+		res.StoredBytes += int64(len(f)) * int64(ins.Stored)
+	}
+
+	man, err := s.node.Insert(past.InsertSpec{Name: name, Content: m.encode(), K: s.opt.K})
+	if err != nil {
+		return nil, err
+	}
+	if !man.OK {
+		return nil, fmt.Errorf("%w: manifest: %s", ErrInsert, man.Reason)
+	}
+	res.ManifestID = man.FileID
+	res.StoredBytes += int64(len(m.encode())) * int64(man.Stored)
+	return res, nil
+}
+
+// Fetch retrieves and reassembles the object behind a manifest id. In
+// ReedSolomon mode it succeeds as long as any DataShards fragments
+// survive; missing shards are reconstructed.
+func (s *Store) Fetch(manifestID id.File) ([]byte, error) {
+	lk, err := s.node.Lookup(manifestID)
+	if err != nil {
+		return nil, err
+	}
+	if !lk.Found {
+		return nil, fmt.Errorf("%w: manifest %s not found", ErrManifest, manifestID.Short())
+	}
+	m, err := decodeManifest(lk.Content)
+	if err != nil {
+		return nil, err
+	}
+
+	switch m.Mode {
+	case Replicated:
+		var out []byte
+		for i, fid := range m.FragIDs {
+			fr, err := s.node.Lookup(fid)
+			if err != nil {
+				return nil, err
+			}
+			if !fr.Found {
+				return nil, fmt.Errorf("%w: fragment %d (%s)", ErrFragment, i, fid.Short())
+			}
+			out = append(out, fr.Content...)
+		}
+		return s.verify(m, out)
+	case ReedSolomon:
+		enc, err := rs.New(int(m.Data), int(m.Parity))
+		if err != nil {
+			return nil, err
+		}
+		perGroup := int(m.Data) + int(m.Parity)
+		if int(m.Groups)*perGroup != len(m.FragIDs) || m.Groups < 1 || m.GroupUnit < 1 {
+			return nil, ErrManifest
+		}
+		groupBytes := int(m.Data) * int(m.GroupUnit)
+		var out []byte
+		for g := 0; g < int(m.Groups); g++ {
+			shards := make([][]byte, perGroup)
+			present := 0
+			for i := 0; i < perGroup; i++ {
+				fid := m.FragIDs[g*perGroup+i]
+				fr, err := s.node.Lookup(fid)
+				if err != nil || !fr.Found {
+					continue // erasure; RS absorbs up to Parity per group
+				}
+				shards[i] = fr.Content
+				present++
+			}
+			if present < int(m.Data) {
+				return nil, fmt.Errorf("%w: group %d has %d of %d fragments, need %d",
+					ErrFragment, g, present, perGroup, m.Data)
+			}
+			if err := enc.Reconstruct(shards); err != nil {
+				return nil, err
+			}
+			glen := groupBytes
+			if g == int(m.Groups)-1 {
+				glen = int(m.Size) - g*groupBytes
+			}
+			block, err := enc.Join(shards, glen)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, block...)
+		}
+		return s.verify(m, out)
+	}
+	return nil, ErrManifest
+}
+
+func (s *Store) verify(m *manifest, out []byte) ([]byte, error) {
+	if int64(len(out)) < m.Size {
+		return nil, fmt.Errorf("%w: reassembled %d of %d bytes", ErrFragment, len(out), m.Size)
+	}
+	out = out[:m.Size]
+	if sha1.Sum(out) != m.Sum {
+		return nil, fmt.Errorf("%w: content hash mismatch", ErrFragment)
+	}
+	return out, nil
+}
+
+// Reclaim releases the manifest and all fragments.
+func (s *Store) Reclaim(manifestID id.File) error {
+	lk, err := s.node.Lookup(manifestID)
+	if err != nil {
+		return err
+	}
+	if !lk.Found {
+		return fmt.Errorf("%w: manifest %s not found", ErrManifest, manifestID.Short())
+	}
+	m, err := decodeManifest(lk.Content)
+	if err != nil {
+		return err
+	}
+	for _, fid := range m.FragIDs {
+		if _, err := s.node.Reclaim(fid, nil); err != nil {
+			return err
+		}
+	}
+	_, err = s.node.Reclaim(manifestID, nil)
+	return err
+}

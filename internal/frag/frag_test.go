@@ -1,0 +1,378 @@
+package frag
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"past/internal/cache"
+	"past/internal/past"
+	"past/internal/pastry"
+)
+
+func testCluster(t *testing.T, n int, capacity int64, seed int64) *past.Cluster {
+	t.Helper()
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 16}
+	cfg.K = 3
+	cfg.CachePolicy = cache.None
+	c, err := past.NewCluster(past.ClusterSpec{
+		N:        n,
+		Cfg:      cfg,
+		Capacity: func(int, *rand.Rand) int64 { return capacity },
+		Seed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReplicatedRoundTrip(t *testing.T) {
+	c := testCluster(t, 40, 1<<22, 1)
+	s, err := NewStore(c.Nodes[0], Options{FragmentSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 100_000) // 13 fragments
+	rand.New(rand.NewSource(1)).Read(content)
+
+	res, err := s.Insert("big.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fragments != 13 {
+		t.Fatalf("fragments = %d; want 13", res.Fragments)
+	}
+
+	// Fetch through a different access point.
+	s2, _ := NewStore(c.Nodes[30], Options{FragmentSize: 8 << 10})
+	got, err := s2.Fetch(res.ManifestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("reassembled content mismatch")
+	}
+}
+
+func TestReedSolomonRoundTrip(t *testing.T) {
+	c := testCluster(t, 40, 1<<22, 2)
+	s, err := NewStore(c.Nodes[0], Options{Mode: ReedSolomon, DataShards: 6, ParityShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 77_777)
+	rand.New(rand.NewSource(2)).Read(content)
+
+	res, err := s.Insert("coded.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fragments != 9 {
+		t.Fatalf("fragments = %d; want 9", res.Fragments)
+	}
+	got, err := s.Fetch(res.ManifestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("reassembled content mismatch")
+	}
+}
+
+func TestReedSolomonSurvivesFragmentLoss(t *testing.T) {
+	c := testCluster(t, 40, 1<<22, 3)
+	s, err := NewStore(c.Nodes[0], Options{Mode: ReedSolomon, DataShards: 4, ParityShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 50_000)
+	rand.New(rand.NewSource(3)).Read(content)
+	res, err := s.Insert("lossy.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Destroy two fragments outright (reclaim them): with RS(4,2) the
+	// object must still reassemble.
+	lk, err := s.node.Lookup(res.ManifestID)
+	if err != nil || !lk.Found {
+		t.Fatal("manifest lookup failed")
+	}
+	m, err := decodeManifest(lk.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fid := range m.FragIDs[:2] {
+		if _, err := s.node.Reclaim(fid, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := s.Fetch(res.ManifestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content mismatch after losing 2 of 6 fragments")
+	}
+
+	// A third loss exceeds the parity budget.
+	if _, err := s.node.Reclaim(m.FragIDs[2], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(res.ManifestID); err == nil {
+		t.Fatal("fetch must fail with more losses than parity")
+	}
+}
+
+func TestRSStorageOverheadBelowReplication(t *testing.T) {
+	c := testCluster(t, 40, 1<<22, 4)
+	content := make([]byte, 64_000)
+	rand.New(rand.NewSource(4)).Read(content)
+
+	rep, err := NewStore(c.Nodes[0], Options{Mode: Replicated, FragmentSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := rep.Insert("rep.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rsStore, err := NewStore(c.Nodes[0], Options{Mode: ReedSolomon, DataShards: 8, ParityShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := rsStore.Insert("rs.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Section 3.6: replication stores ~k x size (k=3 here); RS(8,4)
+	// stores ~1.5 x size (plus the tiny manifest) — a 2x saving.
+	if 10*r2.StoredBytes >= 6*r1.StoredBytes {
+		t.Fatalf("RS overhead %d not well below replication %d", r2.StoredBytes, r1.StoredBytes)
+	}
+	if ratio := float64(r2.StoredBytes) / float64(len(content)); ratio > 1.6 {
+		t.Fatalf("RS stored %.2fx the file size; want ~1.5x", ratio)
+	}
+}
+
+func TestOversizedFileSucceedsFragmented(t *testing.T) {
+	// A file larger than tpri allows on any node fails whole but
+	// succeeds fragmented — the section 3.4 recourse.
+	cap := int64(200_000)
+	c := testCluster(t, 30, cap, 5)
+	node := c.Nodes[0]
+	content := make([]byte, 60_000) // 60k > tpri(0.1) * 200k = 20k
+	rand.New(rand.NewSource(5)).Read(content)
+
+	whole, err := node.Insert(past.InsertSpec{Name: "huge.bin", Content: content})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.OK {
+		t.Fatal("sanity: whole-file insert should exceed every node's acceptance policy")
+	}
+
+	s, err := NewStore(node, Options{FragmentSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Insert("huge.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Fetch(res.ManifestID)
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("fragmented fetch failed: %v", err)
+	}
+}
+
+func TestReclaimFreesEverything(t *testing.T) {
+	c := testCluster(t, 30, 1<<22, 6)
+	s, err := NewStore(c.Nodes[0], Options{FragmentSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 20_000)
+	rand.New(rand.NewSource(6)).Read(content)
+	res, err := s.Insert("gone.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.StoredBytes()
+	if before == 0 {
+		t.Fatal("nothing stored")
+	}
+	if err := s.Reclaim(res.ManifestID); err != nil {
+		t.Fatal(err)
+	}
+	if c.StoredBytes() != 0 {
+		t.Fatalf("%d bytes left after reclaim", c.StoredBytes())
+	}
+	if _, err := s.Fetch(res.ManifestID); err == nil {
+		t.Fatal("fetch after reclaim must fail")
+	}
+}
+
+func TestManifestCodec(t *testing.T) {
+	m := &manifest{
+		Mode:      ReedSolomon,
+		Size:      123456,
+		Data:      8,
+		Parity:    4,
+		Groups:    1,
+		GroupUnit: 999,
+	}
+	for i := 0; i < 12; i++ {
+		var f [20]byte
+		f[0] = byte(i)
+		m.FragIDs = append(m.FragIDs, f)
+	}
+	m.Sum = [20]byte{1, 2, 3}
+	got, err := decodeManifest(m.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != m.Mode || got.Size != m.Size || got.Data != m.Data ||
+		got.Parity != m.Parity || got.Groups != m.Groups || got.GroupUnit != m.GroupUnit || got.Sum != m.Sum {
+		t.Fatalf("round trip: %+v vs %+v", got, m)
+	}
+	if len(got.FragIDs) != 12 || got.FragIDs[5] != m.FragIDs[5] {
+		t.Fatal("frag ids lost")
+	}
+}
+
+func TestManifestDecodeRejectsGarbage(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC!abcdefghijklmnop"),
+		append([]byte(manifestMagic), 0, 0, 0), // truncated
+	} {
+		if _, err := decodeManifest(raw); err == nil {
+			t.Fatalf("garbage %q decoded", raw)
+		}
+	}
+	// Claimed fragment count beyond the payload must be rejected.
+	m := &manifest{Size: 1}
+	enc := m.encode()
+	enc[len(enc)-1] = 200 // inflate the count
+	if _, err := decodeManifest(enc); err == nil {
+		t.Fatal("inflated count decoded")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	c := testCluster(t, 10, 1<<20, 7)
+	if _, err := NewStore(c.Nodes[0], Options{FragmentSize: -1}); err == nil {
+		t.Fatal("negative fragment size accepted")
+	}
+	if _, err := NewStore(c.Nodes[0], Options{Mode: ReedSolomon, DataShards: 300, ParityShards: 300}); err == nil {
+		t.Fatal("oversized RS geometry accepted")
+	}
+	s, _ := NewStore(c.Nodes[0], Options{})
+	if _, err := s.Insert("empty", nil); err == nil {
+		t.Fatal("empty insert accepted")
+	}
+}
+
+func TestFetchUnknownManifest(t *testing.T) {
+	c := testCluster(t, 10, 1<<20, 8)
+	s, _ := NewStore(c.Nodes[0], Options{})
+	var ghost [20]byte
+	ghost[0] = 0xff
+	if _, err := s.Fetch(ghost); err == nil {
+		t.Fatal("unknown manifest fetched")
+	}
+}
+
+func TestManifestNotAFragmentFile(t *testing.T) {
+	// Fetching a fileId that holds ordinary content must fail cleanly.
+	c := testCluster(t, 10, 1<<20, 9)
+	node := c.Nodes[0]
+	res, err := node.Insert(past.InsertSpec{Name: "plain", Content: []byte("not a manifest")})
+	if err != nil || !res.OK {
+		t.Fatal("seed insert failed")
+	}
+	s, _ := NewStore(node, Options{})
+	if _, err := s.Fetch(res.FileID); err == nil {
+		t.Fatal("plain file fetched as manifest")
+	}
+}
+
+func TestManyObjects(t *testing.T) {
+	c := testCluster(t, 30, 1<<22, 10)
+	s, _ := NewStore(c.Nodes[0], Options{FragmentSize: 4 << 10})
+	rng := rand.New(rand.NewSource(10))
+	type obj struct {
+		id      [20]byte
+		content []byte
+	}
+	var objs []obj
+	for i := 0; i < 10; i++ {
+		content := make([]byte, 1000+rng.Intn(20000))
+		rng.Read(content)
+		res, err := s.Insert(fmt.Sprintf("obj-%d", i), content)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj{id: res.ManifestID, content: content})
+	}
+	for i, o := range objs {
+		got, err := s.Fetch(o.id)
+		if err != nil || !bytes.Equal(got, o.content) {
+			t.Fatalf("object %d corrupted: %v", i, err)
+		}
+	}
+}
+
+func TestReedSolomonMultiGroup(t *testing.T) {
+	c := testCluster(t, 40, 1<<23, 11)
+	// 4 KiB shards, 4 data shards -> 16 KiB groups; 70 KiB spans 5 groups.
+	s, err := NewStore(c.Nodes[0], Options{Mode: ReedSolomon, DataShards: 4, ParityShards: 2, FragmentSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 70_000)
+	rand.New(rand.NewSource(11)).Read(content)
+	res, err := s.Insert("multi.bin", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fragments != 5*6 {
+		t.Fatalf("fragments = %d; want 30 (5 groups x 6 shards)", res.Fragments)
+	}
+
+	// Lose two fragments in the FIRST group and two in the LAST: each
+	// group absorbs its own losses independently.
+	lk, _ := s.node.Lookup(res.ManifestID)
+	m, err := decodeManifest(lk.Content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 1, 24, 25} {
+		if _, err := s.node.Reclaim(m.FragIDs[idx], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Fetch(res.ManifestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("multi-group content mismatch after per-group losses")
+	}
+
+	// Three losses in one group exceed its parity.
+	if _, err := s.node.Reclaim(m.FragIDs[2], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(res.ManifestID); err == nil {
+		t.Fatal("fetch must fail when one group exceeds its parity budget")
+	}
+}

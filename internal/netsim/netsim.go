@@ -1,0 +1,236 @@
+// Package netsim is the network emulation environment the experiments
+// run on. The paper evaluated PAST with all 2250 nodes inside a single
+// JVM, communication reduced to local invocation; netsim is the same
+// idea: a registry of endpoints keyed by nodeId, message delivery by
+// direct call, plus the bookkeeping a real network would make observable
+// (message counts, payload bytes, per-node liveness, and the proximity
+// metric between any two nodes).
+//
+// The routing layer (internal/pastry) and the storage layer
+// (internal/past) talk to the network only through the small Net
+// interface, so the identical node code also runs over the real TCP
+// transport in internal/transport.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"past/internal/id"
+	"past/internal/topology"
+)
+
+// Errors returned by message delivery.
+var (
+	// ErrUnknownNode reports a destination that was never registered.
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	// ErrNodeDown reports a destination that is currently failed.
+	ErrNodeDown = errors.New("netsim: node down")
+)
+
+// Endpoint is the receiving side of a node: it handles one message and
+// returns a reply. Implementations must be safe for concurrent use if
+// the network is driven from multiple goroutines.
+type Endpoint interface {
+	Deliver(from id.Node, msg any) (any, error)
+}
+
+// Sized is implemented by messages that can report their encoded size;
+// the network adds it to the traffic counters.
+type Sized interface {
+	WireSize() int
+}
+
+// Net is the communication interface node code depends on. Both the
+// in-process Network here and the TCP transport implement it.
+type Net interface {
+	// Invoke delivers msg from src to dst and returns dst's reply.
+	Invoke(src, dst id.Node, msg any) (any, error)
+	// Alive reports whether dst is currently reachable.
+	Alive(dst id.Node) bool
+	// Proximity returns the scalar proximity metric between two nodes,
+	// and false if either is unknown.
+	Proximity(a, b id.Node) (float64, bool)
+}
+
+type entry struct {
+	ep    Endpoint
+	pos   topology.Point
+	alive bool
+}
+
+// Network is the in-process emulated network.
+type Network struct {
+	mu    sync.RWMutex
+	nodes map[id.Node]*entry
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	byType   sync.Map // message type name -> *atomic.Int64
+}
+
+var _ Net = (*Network)(nil)
+
+// New creates an empty emulated network.
+func New() *Network {
+	return &Network{nodes: make(map[id.Node]*entry)}
+}
+
+// Register adds a live node at the given position. Registering an
+// existing id replaces its endpoint and position (a node re-joining
+// after losing its disk does exactly this).
+func (n *Network) Register(nid id.Node, pos topology.Point, ep Endpoint) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[nid] = &entry{ep: ep, pos: pos, alive: true}
+}
+
+// Fail marks a node unreachable; its state is retained so it can recover.
+func (n *Network) Fail(nid id.Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.nodes[nid]; ok {
+		e.alive = false
+	}
+}
+
+// Recover marks a previously failed node reachable again.
+func (n *Network) Recover(nid id.Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.nodes[nid]; ok {
+		e.alive = true
+	}
+}
+
+// Remove deletes a node entirely.
+func (n *Network) Remove(nid id.Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, nid)
+}
+
+// Alive reports whether nid is registered and not failed.
+func (n *Network) Alive(nid id.Node) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e, ok := n.nodes[nid]
+	return ok && e.alive
+}
+
+// Invoke delivers msg to dst and returns its reply. Messages to unknown
+// or failed nodes fail with ErrUnknownNode or ErrNodeDown, which is how
+// senders detect failures (the emulated analogue of a timeout).
+func (n *Network) Invoke(src, dst id.Node, msg any) (any, error) {
+	n.mu.RLock()
+	e, ok := n.nodes[dst]
+	n.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownNode
+	}
+	if !e.alive {
+		return nil, ErrNodeDown
+	}
+	n.messages.Add(1)
+	n.countType(msg)
+	if s, ok := msg.(Sized); ok {
+		n.bytes.Add(int64(s.WireSize()))
+	}
+	return e.ep.Deliver(src, msg)
+}
+
+// countType attributes the message to its concrete type, for overhead
+// decomposition (e.g. how many of an insert's messages were free-space
+// queries vs replica stores).
+func (n *Network) countType(msg any) {
+	name := fmt.Sprintf("%T", msg)
+	c, ok := n.byType.Load(name)
+	if !ok {
+		c, _ = n.byType.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(1)
+}
+
+// MessagesByType returns a snapshot of per-message-type delivery counts,
+// keyed by the concrete Go type name.
+func (n *Network) MessagesByType() map[string]int64 {
+	out := make(map[string]int64)
+	n.byType.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}
+
+// Proximity returns the emulated proximity metric (Euclidean plane
+// distance) between two registered nodes.
+func (n *Network) Proximity(a, b id.Node) (float64, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ea, oka := n.nodes[a]
+	eb, okb := n.nodes[b]
+	if !oka || !okb {
+		return 0, false
+	}
+	return topology.Distance(ea.pos, eb.pos), true
+}
+
+// Position returns a node's plane coordinates.
+func (n *Network) Position(nid id.Node) (topology.Point, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e, ok := n.nodes[nid]
+	if !ok {
+		return topology.Point{}, false
+	}
+	return e.pos, true
+}
+
+// Nodes returns all registered nodeIds (live and failed) in ascending
+// order, for deterministic iteration.
+func (n *Network) Nodes() []id.Node {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]id.Node, 0, len(n.nodes))
+	for nid := range n.nodes {
+		out = append(out, nid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AliveNodes returns the live nodeIds in ascending order.
+func (n *Network) AliveNodes() []id.Node {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]id.Node, 0, len(n.nodes))
+	for nid, e := range n.nodes {
+		if e.alive {
+			out = append(out, nid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Len returns the number of registered nodes.
+func (n *Network) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.nodes)
+}
+
+// Messages returns the total number of messages delivered.
+func (n *Network) Messages() int64 { return n.messages.Load() }
+
+// Bytes returns the total payload bytes of Sized messages delivered.
+func (n *Network) Bytes() int64 { return n.bytes.Load() }
+
+// ResetCounters zeroes the traffic counters.
+func (n *Network) ResetCounters() {
+	n.messages.Store(0)
+	n.bytes.Store(0)
+}

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/topology"
+)
+
+type echo struct{ seen []any }
+
+func (e *echo) Deliver(from id.Node, msg any) (any, error) {
+	e.seen = append(e.seen, msg)
+	return msg, nil
+}
+
+type sizedMsg struct{ n int }
+
+func (s sizedMsg) WireSize() int { return s.n }
+
+func TestInvoke(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	eb := &echo{}
+	n.Register(a, topology.Point{}, &echo{})
+	n.Register(b, topology.Point{X: 3, Y: 4}, eb)
+
+	reply, err := n.Invoke(a, b, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "hello" || len(eb.seen) != 1 {
+		t.Fatalf("reply = %v, seen = %v", reply, eb.seen)
+	}
+	if n.Messages() != 1 {
+		t.Fatalf("messages = %d", n.Messages())
+	}
+}
+
+func TestInvokeUnknownAndDown(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	n.Register(a, topology.Point{}, &echo{})
+
+	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v; want ErrUnknownNode", err)
+	}
+	n.Register(b, topology.Point{}, &echo{})
+	n.Fail(b)
+	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v; want ErrNodeDown", err)
+	}
+	if n.Alive(b) {
+		t.Fatal("failed node reported alive")
+	}
+	n.Recover(b)
+	if !n.Alive(b) {
+		t.Fatal("recovered node reported down")
+	}
+	if _, err := n.Invoke(a, b, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	n := New()
+	a := id.NodeFromUint64(1)
+	n.Register(a, topology.Point{}, &echo{})
+	n.Remove(a)
+	if n.Alive(a) || n.Len() != 0 {
+		t.Fatal("removed node still present")
+	}
+}
+
+func TestProximity(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	n.Register(a, topology.Point{X: 0, Y: 0}, &echo{})
+	n.Register(b, topology.Point{X: 3, Y: 4}, &echo{})
+	d, ok := n.Proximity(a, b)
+	if !ok || d != 5 {
+		t.Fatalf("proximity = %g,%v; want 5,true", d, ok)
+	}
+	if _, ok := n.Proximity(a, id.NodeFromUint64(9)); ok {
+		t.Fatal("proximity to unknown node must report false")
+	}
+	if p, ok := n.Position(b); !ok || p.X != 3 {
+		t.Fatal("position lookup wrong")
+	}
+}
+
+func TestNodesSortedAndAlive(t *testing.T) {
+	n := New()
+	for _, v := range []uint64{5, 1, 3} {
+		n.Register(id.NodeFromUint64(v), topology.Point{}, &echo{})
+	}
+	nodes := n.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("len = %d", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if !nodes[i-1].Less(nodes[i]) {
+			t.Fatal("Nodes not sorted")
+		}
+	}
+	n.Fail(id.NodeFromUint64(3))
+	alive := n.AliveNodes()
+	if len(alive) != 2 {
+		t.Fatalf("alive = %d; want 2", len(alive))
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	n.Register(a, topology.Point{}, &echo{})
+	n.Register(b, topology.Point{}, &echo{})
+	if _, err := n.Invoke(a, b, sizedMsg{n: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Invoke(a, b, "unsized"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Bytes() != 100 {
+		t.Fatalf("bytes = %d; want 100", n.Bytes())
+	}
+	if n.Messages() != 2 {
+		t.Fatalf("messages = %d; want 2", n.Messages())
+	}
+	n.ResetCounters()
+	if n.Bytes() != 0 || n.Messages() != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestReRegisterReplaces(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	n.Register(a, topology.Point{}, &echo{})
+	first := &echo{}
+	n.Register(b, topology.Point{}, first)
+	second := &echo{}
+	n.Register(b, topology.Point{X: 1}, second)
+	if _, err := n.Invoke(a, b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(first.seen) != 0 || len(second.seen) != 1 {
+		t.Fatal("re-registration did not replace endpoint")
+	}
+}
+
+func TestMessagesByType(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	n.Register(a, topology.Point{}, &echo{})
+	n.Register(b, topology.Point{}, &echo{})
+	if _, err := n.Invoke(a, b, "str"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Invoke(a, b, "str2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Invoke(a, b, sizedMsg{n: 1}); err != nil {
+		t.Fatal(err)
+	}
+	counts := n.MessagesByType()
+	if counts["string"] != 2 || counts["netsim.sizedMsg"] != 1 {
+		t.Fatalf("type counts = %v", counts)
+	}
+}

@@ -1,0 +1,169 @@
+package past
+
+import (
+	"fmt"
+
+	"past/internal/id"
+	"past/internal/netsim"
+	"past/internal/pastry"
+	"past/internal/store"
+)
+
+// app is the PAST node viewed as the Pastry application layer. It is a
+// distinct type so that pastry upcalls don't collide with the netsim
+// endpoint method set.
+type app Node
+
+var _ pastry.Application = (*app)(nil)
+
+func (a *app) node() *Node { return (*Node)(a) }
+
+// Forward fires at every node a routed message visits. Lookups are
+// consumed by the first node that can produce the file (replica,
+// diverted-replica pointer, or cached copy); inserts and reclaims are
+// consumed by the first node that is among the k numerically closest to
+// the fileId.
+func (a *app) Forward(key id.Node, msg any) (bool, any, error) {
+	n := a.node()
+	switch m := msg.(type) {
+	case *LookupMsg:
+		if rep := n.localLookup(m.File); rep != nil {
+			return true, rep, nil
+		}
+	case *InsertMsg:
+		if n.overlay.IsAmongKClosest(key, m.K) {
+			return true, n.coordinateInsert(key, m), nil
+		}
+	case *ReclaimMsg:
+		if n.overlay.IsAmongKClosest(key, n.cfg.K) {
+			return true, n.coordinateReclaim(key, m), nil
+		}
+	}
+	return false, nil, nil
+}
+
+// Deliver fires at the numerically closest node; it must produce a
+// definitive answer.
+func (a *app) Deliver(key id.Node, msg any) (any, error) {
+	n := a.node()
+	switch m := msg.(type) {
+	case *LookupMsg:
+		if rep := n.localLookup(m.File); rep != nil {
+			return rep, nil
+		}
+		return &LookupReply{Found: false}, nil
+	case *InsertMsg:
+		return n.coordinateInsert(key, m), nil
+	case *ReclaimMsg:
+		return n.coordinateReclaim(key, m), nil
+	default:
+		return nil, fmt.Errorf("past: node %s: unknown routed payload %T", n.ID().Short(), msg)
+	}
+}
+
+// Backward fires on each path node as the reply returns toward the
+// client: files are cached on all the nodes a successful insert or
+// lookup was routed through (section 4).
+func (a *app) Backward(key id.Node, msg, reply any) {
+	n := a.node()
+	switch m := msg.(type) {
+	case *LookupMsg:
+		if r, ok := reply.(*LookupReply); ok && r.Found {
+			n.cacheFile(m.File, r.Size, r.Content)
+		}
+	case *InsertMsg:
+		if r, ok := reply.(*InsertReply); ok && r.OK {
+			n.cacheFile(m.File, m.Size, m.Content)
+		}
+	}
+}
+
+// cacheFile offers a file to the local cache, unless this node holds a
+// replica of it (a replica already serves lookups).
+func (n *Node) cacheFile(f id.File, size int64, content []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, held := n.store.Get(f); held {
+		return
+	}
+	n.cache.Insert(f, size, content)
+}
+
+// Deliver implements netsim.Endpoint: PAST's direct node-to-node
+// messages are handled here; everything else (routing, join, pings) is
+// delegated to the Pastry layer.
+func (n *Node) Deliver(from id.Node, msg any) (any, error) {
+	switch m := msg.(type) {
+	case *storeReplicaMsg:
+		return n.handleStoreReplica(m), nil
+	case *divertStoreMsg:
+		return n.handleDivertStore(m), nil
+	case *freeSpaceMsg:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return &freeSpaceReply{Free: n.store.Free()}, nil
+	case *installPointerMsg:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.store.SetPointer(store.Pointer{File: m.File, Target: m.Target, Size: m.Size, Role: m.Role})
+		return &ackMsg{}, nil
+	case *discardMsg:
+		return n.handleDiscard(m)
+	case *fetchMsg:
+		return n.handleFetch(m), nil
+	case *acquireMsg:
+		return n.handleAcquire(m), nil
+	case *locateSpaceMsg:
+		return n.handleLocateSpace(m), nil
+	case *convertToDivertedMsg:
+		return n.handleConvertToDiverted(m), nil
+	case *divertedHolderLeaving:
+		return n.handleDivertedHolderLeaving(m), nil
+	case *ClientInsert, *ClientLookup, *ClientReclaim, *ClientStatus:
+		return n.handleClientRPC(msg)
+	default:
+		return n.overlay.Deliver(from, msg)
+	}
+}
+
+var _ netsim.Endpoint = (*Node)(nil)
+
+// localLookup serves a lookup from this node if possible: from the
+// replica store, from the cache, or by chasing a diverted-replica
+// pointer (one extra RPC, as the paper charges it). A nil return means
+// this node cannot serve the file and routing continues.
+func (n *Node) localLookup(f id.File) *LookupReply {
+	n.mu.Lock()
+	if e, ok := n.store.Get(f); ok {
+		n.mu.Unlock()
+		return &LookupReply{Found: true, Size: e.Size, Content: e.Content, Cert: e.Cert}
+	}
+	if size, content, ok := n.cache.Get(f); ok {
+		n.mu.Unlock()
+		return &LookupReply{Found: true, Size: size, Content: content, FromCache: true}
+	}
+	p, hasPtr := n.store.GetPointer(f)
+	n.mu.Unlock()
+	if hasPtr {
+		res, err := n.net.Invoke(n.ID(), p.Target, &fetchMsg{File: f})
+		if err == nil {
+			if fr := res.(*fetchReply); fr.Found {
+				return &LookupReply{Found: true, Size: fr.Size, Content: fr.Content,
+					Cert: fr.Cert, ExtraHops: 1}
+			}
+		}
+	}
+	return nil
+}
+
+// handleFetch returns the replica content for a pointer chase or a
+// migration transfer.
+func (n *Node) handleFetch(m *fetchMsg) *fetchReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.store.Get(m.File)
+	if !ok {
+		return &fetchReply{}
+	}
+	return &fetchReply{Found: true, Size: e.Size, Content: e.Content, Cert: e.Cert}
+}

@@ -1,0 +1,123 @@
+package past
+
+import (
+	"encoding/gob"
+
+	"past/internal/id"
+	"past/internal/pastry"
+)
+
+// Client RPCs: a PAST node doubles as the access point for remote
+// clients (cmd/pastctl). These messages arrive over the TCP transport
+// and are served by running the corresponding local operation. Owner
+// smartcards never leave the client, so remote operations run without
+// certificates; deployments that require them run the client library
+// in-process instead.
+
+// ClientInsert asks the receiving node to insert a file on the caller's
+// behalf.
+type ClientInsert struct {
+	Name    string
+	Content []byte
+	K       int
+}
+
+// ClientInsertReply reports the outcome.
+type ClientInsertReply struct {
+	OK       bool
+	FileID   id.File
+	Attempts int
+	Reason   string
+}
+
+// ClientLookup asks the receiving node to retrieve a file.
+type ClientLookup struct {
+	File id.File
+}
+
+// ClientLookupReply carries the file back to the client.
+type ClientLookupReply struct {
+	Found     bool
+	Size      int64
+	Content   []byte
+	FromCache bool
+	Hops      int
+}
+
+// ClientReclaim asks the receiving node to reclaim a file's storage.
+type ClientReclaim struct {
+	File id.File
+}
+
+// ClientReclaimReply reports the reclaimed bytes.
+type ClientReclaimReply struct {
+	Found bool
+	Freed int64
+}
+
+// handleClientRPC serves the client messages; it returns (nil, nil) for
+// non-client messages.
+func (n *Node) handleClientRPC(msg any) (any, error) {
+	switch m := msg.(type) {
+	case *ClientInsert:
+		res, err := n.Insert(InsertSpec{Name: m.Name, Content: m.Content, K: m.K})
+		if err != nil {
+			return nil, err
+		}
+		return &ClientInsertReply{OK: res.OK, FileID: res.FileID, Attempts: res.Attempts, Reason: res.Reason}, nil
+	case *ClientLookup:
+		res, err := n.Lookup(m.File)
+		if err != nil {
+			return nil, err
+		}
+		return &ClientLookupReply{Found: res.Found, Size: res.Size, Content: res.Content,
+			FromCache: res.FromCache, Hops: res.Hops}, nil
+	case *ClientReclaim:
+		res, err := n.Reclaim(m.File, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &ClientReclaimReply{Found: res.Found, Freed: res.Freed}, nil
+	case *ClientStatus:
+		return &ClientStatusReply{Status: n.Status()}, nil
+	}
+	return nil, nil
+}
+
+// RegisterWire registers every PAST and Pastry message type with the
+// gob codec used by the TCP transport.
+func RegisterWire() {
+	pastry.RegisterWire()
+	gob.Register(&InsertMsg{})
+	gob.Register(&InsertReply{})
+	gob.Register(&LookupMsg{})
+	gob.Register(&LookupReply{})
+	gob.Register(&ReclaimMsg{})
+	gob.Register(&ReclaimReply{})
+	gob.Register(&storeReplicaMsg{})
+	gob.Register(&storeReplicaReply{})
+	gob.Register(&divertStoreMsg{})
+	gob.Register(&divertStoreReply{})
+	gob.Register(&freeSpaceMsg{})
+	gob.Register(&freeSpaceReply{})
+	gob.Register(&installPointerMsg{})
+	gob.Register(&discardMsg{})
+	gob.Register(&discardReply{})
+	gob.Register(&fetchMsg{})
+	gob.Register(&fetchReply{})
+	gob.Register(&acquireMsg{})
+	gob.Register(&acquireReply{})
+	gob.Register(&locateSpaceMsg{})
+	gob.Register(&locateSpaceReply{})
+	gob.Register(&convertToDivertedMsg{})
+	gob.Register(&divertedHolderLeaving{})
+	gob.Register(&ackMsg{})
+	gob.Register(&ClientInsert{})
+	gob.Register(&ClientInsertReply{})
+	gob.Register(&ClientLookup{})
+	gob.Register(&ClientLookupReply{})
+	gob.Register(&ClientReclaim{})
+	gob.Register(&ClientReclaimReply{})
+	gob.Register(&ClientStatus{})
+	gob.Register(&ClientStatusReply{})
+}

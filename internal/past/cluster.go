@@ -1,0 +1,177 @@
+package past
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"past/internal/id"
+	"past/internal/netsim"
+	"past/internal/topology"
+)
+
+// Cluster is an emulated PAST network: N nodes in one process, exactly
+// as the paper's evaluation ran 2250 nodes in one JVM. It is the
+// substrate for the trace-driven experiments, the integration tests, and
+// the examples.
+type Cluster struct {
+	Net   *netsim.Network
+	Nodes []*Node
+	ByID  map[id.Node]*Node
+	// ClusterOf maps node index to its proximity-cluster index (when the
+	// cluster was built with proximity clusters; nil otherwise).
+	ClusterOf []int
+
+	rng *rand.Rand
+}
+
+// ClusterSpec describes a cluster to build.
+type ClusterSpec struct {
+	// N is the number of nodes.
+	N int
+	// Cfg is the PAST configuration shared by all nodes.
+	Cfg Config
+	// Capacity returns the advertised storage capacity of node i in
+	// bytes. Required.
+	Capacity func(i int, r *rand.Rand) int64
+	// Seed makes the cluster deterministic.
+	Seed int64
+	// ProximityClusters > 0 places the nodes into that many tight
+	// proximity clusters (for the caching experiment); 0 places them
+	// uniformly.
+	ProximityClusters int
+}
+
+// NewCluster builds the network by sequential joins, each new node
+// bootstrapping from the proximally closest existing node.
+func NewCluster(spec ClusterSpec) (*Cluster, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("past: cluster needs N > 0")
+	}
+	if spec.Capacity == nil {
+		return nil, fmt.Errorf("past: cluster needs a Capacity function")
+	}
+	c := &Cluster{
+		Net:  netsim.New(),
+		ByID: make(map[id.Node]*Node, spec.N),
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+	}
+	plane := topology.DefaultPlane
+	var positions []topology.Point
+	if spec.ProximityClusters > 0 {
+		positions, c.ClusterOf = plane.Clusters(c.rng, spec.N, spec.ProximityClusters, plane.Side/40)
+	} else {
+		positions = plane.Uniform(c.rng, spec.N)
+	}
+
+	for i := 0; i < spec.N; i++ {
+		var nid id.Node
+		c.rng.Read(nid[:])
+		if _, dup := c.ByID[nid]; dup {
+			return nil, fmt.Errorf("past: nodeId collision while building cluster")
+		}
+		node := New(nid, c.Net, spec.Cfg, spec.Capacity(i, c.rng), c.rng.Int63())
+		c.Net.Register(nid, positions[i], node)
+		if i == 0 {
+			node.Overlay().Bootstrap()
+		} else {
+			boot := c.closestExisting(positions[i])
+			if err := node.Overlay().Join(boot); err != nil {
+				return nil, fmt.Errorf("past: join node %d: %w", i, err)
+			}
+		}
+		c.Nodes = append(c.Nodes, node)
+		c.ByID[nid] = node
+	}
+	return c, nil
+}
+
+func (c *Cluster) closestExisting(pos topology.Point) id.Node {
+	best := id.Node{}
+	bestD := math.Inf(1)
+	for nid := range c.ByID {
+		if !c.Net.Alive(nid) {
+			continue
+		}
+		p, _ := c.Net.Position(nid)
+		if d := topology.Distance(pos, p); d < bestD {
+			best, bestD = nid, d
+		}
+	}
+	return best
+}
+
+// TotalCapacity returns the aggregate advertised capacity of all nodes.
+func (c *Cluster) TotalCapacity() int64 {
+	var sum int64
+	for _, n := range c.Nodes {
+		sum += n.Capacity()
+	}
+	return sum
+}
+
+// StoredBytes returns the aggregate replica bytes across live nodes.
+func (c *Cluster) StoredBytes() int64 {
+	var sum int64
+	for _, n := range c.Nodes {
+		sum += n.StoredBytes()
+	}
+	return sum
+}
+
+// Utilization returns global storage utilization in [0, 1].
+func (c *Cluster) Utilization() float64 {
+	tc := c.TotalCapacity()
+	if tc == 0 {
+		return 0
+	}
+	return float64(c.StoredBytes()) / float64(tc)
+}
+
+// RandomAliveNode returns a uniformly random live node.
+func (c *Cluster) RandomAliveNode() *Node {
+	alive := c.Net.AliveNodes()
+	return c.ByID[alive[c.rng.Intn(len(alive))]]
+}
+
+// Rand returns the cluster's deterministic random source.
+func (c *Cluster) Rand() *rand.Rand { return c.rng }
+
+// Fail marks a node failed (it keeps its disk contents for recovery).
+func (c *Cluster) Fail(nid id.Node) { c.Net.Fail(nid) }
+
+// Recover brings a failed node back; the node itself must Rejoin.
+func (c *Cluster) Recover(nid id.Node) { c.Net.Recover(nid) }
+
+// Maintain runs one keep-alive round on every live node, the emulated
+// analogue of the periodic leaf-set keep-alives. Two rounds after a
+// batch of failures restore all leaf sets.
+func (c *Cluster) Maintain() {
+	for _, nid := range c.Net.AliveNodes() {
+		c.ByID[nid].Overlay().CheckLeafSet()
+	}
+}
+
+// GlobalClosest returns the k live nodes numerically closest to key, by
+// brute force — ground truth for invariant checks.
+func (c *Cluster) GlobalClosest(key id.Node, k int) []id.Node {
+	alive := c.Net.AliveNodes()
+	// Selection by repeated scan; k is small.
+	out := make([]id.Node, 0, k)
+	used := make(map[id.Node]bool, k)
+	for len(out) < k && len(out) < len(alive) {
+		var best id.Node
+		first := true
+		for _, nid := range alive {
+			if used[nid] {
+				continue
+			}
+			if first || key.Closer(nid, best) {
+				best, first = nid, false
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}

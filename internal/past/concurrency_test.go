@@ -1,0 +1,77 @@
+package past
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClientsEmulated drives many goroutines through the
+// emulated network at once: inserts, lookups, and reclaims racing
+// across overlapping access points. Run under -race in CI; the
+// invariant checks run after the storm settles.
+func TestConcurrentClientsEmulated(t *testing.T) {
+	cfg := smallCfg()
+	c := testCluster(t, 40, cfg, 1<<22, 90)
+
+	const workers = 8
+	const perWorker = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	files := make(chan fileRef, workers*perWorker)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := c.Nodes[w%len(c.Nodes)]
+			for i := 0; i < perWorker; i++ {
+				res, err := client.Insert(InsertSpec{
+					Name: fmt.Sprintf("conc-%d-%d", w, i),
+					Size: int64(512 + 97*i),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.OK {
+					errs <- fmt.Errorf("worker %d insert %d failed: %s", w, i, res.Reason)
+					return
+				}
+				got, err := client.Lookup(res.FileID)
+				if err != nil || !got.Found {
+					errs <- fmt.Errorf("worker %d lookup %d: %v", w, i, err)
+					return
+				}
+				if i%5 == 4 {
+					if _, err := client.Reclaim(res.FileID, nil); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					files <- fileRef{id: res.FileID, size: int64(512 + 97*i)}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	close(files)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the storm: accounting sane, every surviving file intact.
+	for _, n := range c.Nodes {
+		if n.StoredBytes() > n.Capacity() {
+			t.Fatalf("node %s overcommitted", n.ID().Short())
+		}
+	}
+	for f := range files {
+		assertReplicaInvariant(t, c, f.id, cfg.K)
+		got, err := c.Nodes[0].Lookup(f.id)
+		if err != nil || !got.Found || got.Size != f.size {
+			t.Fatalf("file %s corrupted after concurrent storm: %v %+v", f.id, err, got)
+		}
+	}
+}

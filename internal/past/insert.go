@@ -1,0 +1,377 @@
+package past
+
+import (
+	"fmt"
+	"sort"
+
+	"past/internal/cert"
+	"past/internal/id"
+	"past/internal/store"
+)
+
+// Insert failures are reported in-band (InsertResult.OK=false with a
+// Reason) rather than as errors, because a failed insertion is an
+// expected high-utilization outcome the caller reacts to — the paper's
+// recourse is fragmenting the file or lowering k (section 3.4, and see
+// internal/frag). The error return is reserved for operational faults
+// (unroutable network, quota exhaustion, invalid parameters).
+
+// InsertSpec describes a file to insert.
+type InsertSpec struct {
+	// Name is the file's textual name, one input to the fileId hash.
+	Name string
+	// Size is the file size in bytes. If Content is non-nil, Size is
+	// ignored and len(Content) is used.
+	Size int64
+	// Content is the file payload; nil runs size-only accounting (the
+	// trace experiments).
+	Content []byte
+	// K overrides the configured replication factor when positive.
+	K int
+	// Owner, when set, issues and signs the file certificate and is
+	// debited size*k quota bytes per the paper's insert semantics.
+	Owner *cert.Smartcard
+	// Salt seeds fileId generation; zero means draw one at random. File
+	// diversion retries increment it.
+	Salt uint64
+	// Created is the owner-asserted creation time for the certificate.
+	Created int64
+}
+
+// InsertResult reports the outcome of an Insert.
+type InsertResult struct {
+	FileID id.File
+	// OK is false if all attempts failed.
+	OK bool
+	// Attempts is the number of insert attempts performed (1 + file
+	// diversions). The paper allows at most 4.
+	Attempts int
+	// FileDiversions = Attempts-1 on success; Attempts on failure they
+	// all failed, but by convention we report Attempts-1 re-salts.
+	FileDiversions int
+	// Diverted counts replicas that were stored via replica diversion.
+	Diverted int
+	// Stored counts replicas created.
+	Stored int
+	// Hops is the number of routing hops of the final (successful or
+	// last) attempt.
+	Hops int
+	// Receipts holds the store receipts when certificates are enabled.
+	Receipts []*cert.StoreReceipt
+	// Reason describes the failure, if any.
+	Reason string
+}
+
+// Insert stores a file on the k nodes whose nodeIds are numerically
+// closest to the fileId, performing replica diversion inside leaf sets
+// and up to MaxRetries file diversions (re-salted fileIds) on failure.
+// It may be called on any node; this node acts as the client's access
+// point.
+func (n *Node) Insert(spec InsertSpec) (*InsertResult, error) {
+	k := spec.K
+	if k <= 0 {
+		k = n.cfg.K
+	}
+	if maxK := n.overlay.Config().L/2 + 1; k > maxK {
+		return nil, fmt.Errorf("past: insert %q: k=%d exceeds l/2+1=%d (the paper's bound: any of the k closest nodes must see the whole replica set in its leaf set)",
+			spec.Name, k, maxK)
+	}
+	size := spec.Size
+	if spec.Content != nil {
+		size = int64(len(spec.Content))
+	}
+	salt := spec.Salt
+	if salt == 0 {
+		n.mu.Lock()
+		salt = n.rng.Uint64()
+		n.mu.Unlock()
+	}
+
+	res := &InsertResult{}
+	for attempt := 0; attempt <= n.cfg.MaxRetries; attempt++ {
+		res.Attempts = attempt + 1
+		var fid id.File
+		var fc *cert.FileCertificate
+		if spec.Owner != nil {
+			var err error
+			fc, err = spec.Owner.IssueFileCert(spec.Name, spec.Content, k, salt+uint64(attempt), spec.Created)
+			if err != nil {
+				return nil, fmt.Errorf("past: insert %q: %w", spec.Name, err)
+			}
+			fid = fc.FileID
+		} else {
+			fid = id.NewFile(spec.Name, nil, salt+uint64(attempt))
+		}
+		res.FileID = fid
+
+		msg := &InsertMsg{File: fid, Size: size, Content: spec.Content, Cert: fc, K: k}
+		reply, hops, err := n.overlay.Route(fid.Key(), msg)
+		if err != nil {
+			return nil, fmt.Errorf("past: insert %q: route: %w", spec.Name, err)
+		}
+		ir, ok := reply.(*InsertReply)
+		if !ok {
+			return nil, fmt.Errorf("past: insert %q: unexpected reply %T", spec.Name, reply)
+		}
+		res.Hops = hops
+		if ir.OK {
+			res.OK = true
+			res.FileDiversions = attempt
+			res.Stored = ir.Stored
+			res.Diverted = ir.Diverted
+			res.Receipts = ir.Receipts
+			if n.cfg.VerifyCerts && n.cfg.NodeKeys != nil {
+				// Confirm the requested number of copies was created:
+				// each receipt must verify against the storing node's
+				// public key (section 2.2).
+				if err := verifyReceipts(ir.Receipts, fid, k, n.cfg.NodeKeys); err != nil {
+					return nil, fmt.Errorf("past: insert %q: %w", spec.Name, err)
+				}
+			}
+			return res, nil
+		}
+		res.Reason = ir.Reason
+		// Failed attempt: the debited quota for this fileId is returned.
+		if spec.Owner != nil {
+			spec.Owner.Quota().Credit(size * int64(k))
+		}
+	}
+	res.FileDiversions = res.Attempts - 1
+	return res, nil
+}
+
+// verifyReceipts checks that k distinct, correctly signed store receipts
+// for fid were returned.
+func verifyReceipts(receipts []*cert.StoreReceipt, fid id.File, k int, keys NodeKeyDirectory) error {
+	seen := make(map[id.Node]bool, len(receipts))
+	for _, r := range receipts {
+		if r.FileID != fid {
+			return fmt.Errorf("store receipt for wrong file %s", r.FileID.Short())
+		}
+		pub, ok := keys.NodeKey(r.Node)
+		if !ok {
+			return fmt.Errorf("no public key for storing node %s", r.Node.Short())
+		}
+		if err := r.Verify(pub); err != nil {
+			return fmt.Errorf("store receipt from %s: %w", r.Node.Short(), err)
+		}
+		seen[r.Node] = true
+	}
+	if len(seen) < k {
+		return fmt.Errorf("only %d distinct store receipts for %d requested copies", len(seen), k)
+	}
+	return nil
+}
+
+// coordinateInsert runs on the first node among the k closest to the
+// fileId that an insert message reaches. It stores one replica locally
+// (or diverts it) and forwards the request directly to the other k-1
+// closest nodes, which all lie in this node's leaf set. If any member
+// can neither store nor divert its replica, the stored replicas are
+// discarded and a negative acknowledgment triggers file diversion at
+// the client.
+func (n *Node) coordinateInsert(key id.Node, m *InsertMsg) *InsertReply {
+	if n.cfg.VerifyCerts {
+		if m.Cert == nil {
+			return &InsertReply{Reason: "missing file certificate"}
+		}
+		if err := m.Cert.Verify(n.cfg.Issuer, m.Content); err != nil {
+			return &InsertReply{Reason: fmt.Sprintf("certificate rejected: %v", err)}
+		}
+		if m.Cert.K != m.K || m.Cert.FileID != m.File {
+			return &InsertReply{Reason: "certificate does not match insert request"}
+		}
+	}
+
+	members := n.overlay.ReplicaSet(key, m.K)
+	rep := &InsertReply{}
+	var stored []id.Node
+	abort := func(reason string) *InsertReply {
+		for _, s := range stored {
+			if s == n.ID() {
+				n.mu.Lock()
+				n.removeReplicaLocked(m.File)
+				n.store.RemovePointer(m.File)
+				n.mu.Unlock()
+			} else {
+				_, _ = n.net.Invoke(n.ID(), s, &discardMsg{File: m.File, Abort: true})
+			}
+		}
+		return &InsertReply{Reason: reason}
+	}
+
+	sm := &storeReplicaMsg{File: m.File, Key: key, Size: m.Size, Content: m.Content, Cert: m.Cert, K: m.K}
+	for _, member := range members {
+		var sr *storeReplicaReply
+		if member == n.ID() {
+			sr = n.handleStoreReplica(sm)
+		} else {
+			res, err := n.net.Invoke(n.ID(), member, sm)
+			if err != nil {
+				// A replica-set member died mid-insert; the client will
+				// re-salt (and maintenance will have repaired the leaf
+				// set by then).
+				return abort(fmt.Sprintf("replica node %s unreachable", member.Short()))
+			}
+			sr = res.(*storeReplicaReply)
+		}
+		switch sr.Status {
+		case storeOK:
+			stored = append(stored, member)
+			rep.Stored++
+		case storeOKDiverted:
+			stored = append(stored, member)
+			rep.Stored++
+			rep.Diverted++
+		case storeAlreadyHeld:
+			// fileId collision: the paper rejects the later file.
+			return abort("fileId collision")
+		case storeFailed:
+			return abort("insufficient storage in replica set")
+		}
+		if sr.Receipt != nil {
+			rep.Receipts = append(rep.Receipts, sr.Receipt)
+		}
+	}
+	rep.OK = true
+	return rep
+}
+
+// handleStoreReplica stores one replica at this node: locally if the
+// acceptance policy admits it, otherwise via replica diversion.
+func (n *Node) handleStoreReplica(m *storeReplicaMsg) *storeReplicaReply {
+	n.mu.Lock()
+	if n.leaving {
+		n.mu.Unlock()
+		return &storeReplicaReply{Status: storeFailed}
+	}
+	if _, dup := n.store.Get(m.File); dup {
+		n.mu.Unlock()
+		return &storeReplicaReply{Status: storeAlreadyHeld}
+	}
+	if _, dup := n.store.GetPointer(m.File); dup {
+		n.mu.Unlock()
+		return &storeReplicaReply{Status: storeAlreadyHeld}
+	}
+	if n.store.CanAccept(m.Size, n.cfg.TPri) {
+		err := n.addReplicaLocked(store.Entry{
+			File: m.File, Size: m.Size, Kind: store.Primary,
+			Content: m.Content, Cert: m.Cert,
+		})
+		n.mu.Unlock()
+		if err != nil {
+			return &storeReplicaReply{Status: storeFailed}
+		}
+		return &storeReplicaReply{Status: storeOK, Receipt: n.issueStoreReceipt(m.File)}
+	}
+	n.mu.Unlock()
+	return n.divertReplica(m)
+}
+
+// divertReplica implements replica diversion (section 3.3): choose the
+// node with maximal remaining free space among the members of this
+// node's leaf set that (a) are not among the k closest to the fileId and
+// (b) do not already hold a diverted replica of the file; ask it to
+// store the replica under the tdiv policy; on success enter pointers in
+// this node's file table and at the k+1-th closest node C, so the
+// diverted replica survives the failure of either referrer.
+func (n *Node) divertReplica(m *storeReplicaMsg) *storeReplicaReply {
+	replicaSet := n.overlay.ReplicaSet(m.Key, m.K)
+	inSet := make(map[id.Node]bool, len(replicaSet))
+	for _, r := range replicaSet {
+		inSet[r] = true
+	}
+
+	type candidate struct {
+		node id.Node
+		free int64
+	}
+	var cands []candidate
+	for _, b := range n.overlay.LeafSet() {
+		if inSet[b] || b == n.ID() {
+			continue
+		}
+		res, err := n.net.Invoke(n.ID(), b, &freeSpaceMsg{})
+		if err != nil {
+			continue
+		}
+		cands = append(cands, candidate{node: b, free: res.(*freeSpaceReply).Free})
+	}
+	if n.cfg.RandomDivert {
+		// Ablation mode: ignore free space when picking the target.
+		n.mu.Lock()
+		n.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		n.mu.Unlock()
+	} else {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].free != cands[j].free {
+				return cands[i].free > cands[j].free
+			}
+			return cands[i].node.Less(cands[j].node)
+		})
+	}
+
+	dm := &divertStoreMsg{File: m.File, Size: m.Size, Content: m.Content, Cert: m.Cert, Owner: n.ID()}
+	for _, c := range cands {
+		res, err := n.net.Invoke(n.ID(), c.node, dm)
+		if err != nil {
+			continue // dead candidate; try the next
+		}
+		dr := res.(*divertStoreReply)
+		switch dr.Status {
+		case divertOK:
+			n.mu.Lock()
+			n.store.SetPointer(store.Pointer{File: m.File, Target: c.node, Size: m.Size, Role: store.DivertedOut})
+			n.mu.Unlock()
+			n.installBackupPointer(m, c.node)
+			return &storeReplicaReply{Status: storeOKDiverted, Receipt: n.issueStoreReceipt(m.File)}
+		case divertAlreadyHolds:
+			// Another replica-set member already diverted to this node;
+			// it is ineligible (criterion b), move to the next candidate.
+			continue
+		case divertNoSpace:
+			// The chosen node declined: per the paper's policy the whole
+			// file is diverted to another part of the nodeId space.
+			return &storeReplicaReply{Status: storeFailed}
+		}
+	}
+	return &storeReplicaReply{Status: storeFailed}
+}
+
+// installBackupPointer enters the pointer to the diverted replica into
+// the file table of node C, the k+1-th closest node to the fileId, so
+// the failure of this node does not orphan the replica on B.
+func (n *Node) installBackupPointer(m *storeReplicaMsg, b id.Node) {
+	ext := n.overlay.ReplicaSet(m.Key, m.K+1)
+	if len(ext) <= m.K {
+		return // network smaller than k+1 nodes
+	}
+	c := ext[m.K]
+	if c == n.ID() || c == b {
+		return
+	}
+	_, _ = n.net.Invoke(n.ID(), c, &installPointerMsg{File: m.File, Target: b, Size: m.Size, Role: store.Backup})
+}
+
+// handleDivertStore stores a diverted replica on behalf of Owner, under
+// the stricter tdiv acceptance policy.
+func (n *Node) handleDivertStore(m *divertStoreMsg) *divertStoreReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.leaving {
+		return &divertStoreReply{Status: divertNoSpace}
+	}
+	if _, dup := n.store.Get(m.File); dup {
+		return &divertStoreReply{Status: divertAlreadyHolds}
+	}
+	if !n.store.CanAccept(m.Size, n.cfg.TDiv) {
+		return &divertStoreReply{Status: divertNoSpace}
+	}
+	if err := n.addReplicaLocked(store.Entry{
+		File: m.File, Size: m.Size, Kind: store.DivertedIn,
+		Owner: m.Owner, Content: m.Content, Cert: m.Cert,
+	}); err != nil {
+		return &divertStoreReply{Status: divertNoSpace}
+	}
+	return &divertStoreReply{Status: divertOK, Receipt: n.issueStoreReceipt(m.File)}
+}

@@ -1,0 +1,95 @@
+package past
+
+import (
+	"fmt"
+
+	"past/internal/id"
+)
+
+// LookupResult reports the outcome of a Lookup.
+type LookupResult struct {
+	Found bool
+	Size  int64
+	// Content is the file payload (nil under size-only accounting).
+	Content []byte
+	// FromCache reports whether a cached copy (rather than one of the k
+	// replicas) served the request.
+	FromCache bool
+	// Hops is the total fetch distance in overlay hops: routing hops to
+	// the serving node plus the pointer chase to a diverted replica, if
+	// any. A request served by the access point itself costs 0.
+	Hops int
+	// Indirect reports that the lookup reached a diverted replica
+	// through a pointer — the one additional RPC the paper charges to
+	// replica diversion (section 3.3).
+	Indirect bool
+}
+
+// Lookup retrieves the file with the given fileId. Requests are routed
+// toward the fileId and served by the first node along the route holding
+// the file — with high probability a node near the client, given
+// Pastry's locality properties and the k adjacent replicas. Successful
+// lookups leave cached copies of the file on the nodes along the route.
+func (n *Node) Lookup(f id.File) (*LookupResult, error) {
+	reply, hops, err := n.overlay.Route(f.Key(), &LookupMsg{File: f})
+	if err != nil {
+		return nil, fmt.Errorf("past: lookup %s: %w", f.Short(), err)
+	}
+	lr, ok := reply.(*LookupReply)
+	if !ok {
+		return nil, fmt.Errorf("past: lookup %s: unexpected reply %T", f.Short(), reply)
+	}
+	if !lr.Found {
+		return &LookupResult{Found: false, Hops: hops}, nil
+	}
+	if n.cfg.VerifyCerts && lr.Cert != nil {
+		if err := lr.Cert.Verify(n.cfg.Issuer, lr.Content); err != nil {
+			return nil, fmt.Errorf("past: lookup %s: content failed verification: %w", f.Short(), err)
+		}
+	}
+	return &LookupResult{
+		Found:     true,
+		Size:      lr.Size,
+		Content:   lr.Content,
+		FromCache: lr.FromCache,
+		Hops:      hops + lr.ExtraHops,
+		Indirect:  lr.ExtraHops > 0,
+	}, nil
+}
+
+// Exists reports whether a lookup for f would succeed, without caching
+// side effects on this node. (Intermediate nodes still observe the
+// routed request.)
+func (n *Node) Exists(f id.File) (bool, error) {
+	res, err := n.Lookup(f)
+	if err != nil {
+		return false, err
+	}
+	return res.Found, nil
+}
+
+// HasReplica reports whether this node itself holds a replica of f
+// (primary or diverted-in), for tests and invariant checks.
+func (n *Node) HasReplica(f id.File) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.store.Get(f)
+	return ok
+}
+
+// HasPointer reports whether this node holds a diverted-replica pointer
+// for f, and the pointer target.
+func (n *Node) HasPointer(f id.File) (id.Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.store.GetPointer(f)
+	return p.Target, ok
+}
+
+// CacheContains reports whether f is cached on this node, without
+// touching recency state.
+func (n *Node) CacheContains(f id.File) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cache.Contains(f)
+}

@@ -1,0 +1,207 @@
+package past
+
+import (
+	"past/internal/cert"
+	"past/internal/id"
+	"past/internal/store"
+)
+
+// Routed payloads (travel inside pastry.RouteRequest).
+
+// InsertMsg asks the first node among the k closest to the fileId to
+// coordinate storing k replicas.
+type InsertMsg struct {
+	File    id.File
+	Size    int64
+	Content []byte
+	Cert    *cert.FileCertificate
+	K       int
+}
+
+// InsertReply reports the outcome of one insert attempt.
+type InsertReply struct {
+	OK       bool
+	Reason   string
+	Receipts []*cert.StoreReceipt
+	// Stored counts replicas created; Diverted counts how many of them
+	// were replica-diverted.
+	Stored, Diverted int
+}
+
+// LookupMsg retrieves a file; it is consumed by the first node on the
+// route that holds the file (replica, diverted replica, pointer, or
+// cached copy).
+type LookupMsg struct {
+	File id.File
+}
+
+// LookupReply carries the file back toward the client.
+type LookupReply struct {
+	Found     bool
+	Size      int64
+	Content   []byte
+	Cert      *cert.FileCertificate
+	FromCache bool
+	// ExtraHops counts the pointer chase to a diverted replica, which
+	// the paper charges as one additional RPC.
+	ExtraHops int
+}
+
+// ReclaimMsg reclaims the storage of the k replicas of a file.
+type ReclaimMsg struct {
+	File id.File
+	Cert *cert.ReclaimCertificate
+}
+
+// ReclaimReply reports the reclaimed replicas.
+type ReclaimReply struct {
+	Found    bool
+	Receipts []*cert.ReclaimReceipt
+	Freed    int64
+}
+
+// Direct node-to-node messages.
+
+// storeReplicaMsg asks a member of the replica set to store a replica
+// (primary, or diverted on its behalf).
+type storeReplicaMsg struct {
+	File    id.File
+	Key     id.Node // 128-bit fileId prefix, for replica-set geometry
+	Size    int64
+	Content []byte
+	Cert    *cert.FileCertificate
+	K       int
+}
+
+// storeReplicaStatus enumerates the outcomes of a store request.
+type storeReplicaStatus uint8
+
+const (
+	storeOK          storeReplicaStatus = iota // stored locally
+	storeOKDiverted                            // stored at a diverted node
+	storeAlreadyHeld                           // idempotent: replica already present
+	storeFailed                                // neither local store nor diversion possible
+)
+
+type storeReplicaReply struct {
+	Status  storeReplicaStatus
+	Receipt *cert.StoreReceipt
+}
+
+// divertStoreMsg asks a non-replica-set node B to hold a diverted
+// replica on behalf of Owner.
+type divertStoreMsg struct {
+	File    id.File
+	Size    int64
+	Content []byte
+	Cert    *cert.FileCertificate
+	Owner   id.Node
+}
+
+type divertStoreStatus uint8
+
+const (
+	divertOK divertStoreStatus = iota
+	divertAlreadyHolds
+	divertNoSpace
+)
+
+type divertStoreReply struct {
+	Status  divertStoreStatus
+	Receipt *cert.StoreReceipt
+}
+
+// freeSpaceMsg queries a node's remaining free space (piggybacked on
+// keep-alives in a deployment; an explicit message here).
+type freeSpaceMsg struct{}
+
+type freeSpaceReply struct {
+	Free int64
+}
+
+// installPointerMsg asks a node to record a diverted-replica pointer
+// (the k+1-th closest node's backup pointer, or a migration pointer).
+type installPointerMsg struct {
+	File   id.File
+	Target id.Node
+	Size   int64
+	Role   store.PtrRole
+}
+
+// discardMsg asks a node to discard its replica of (or pointer to) a
+// file, either during reclaim (with certificate) or when aborting a
+// failed insert (abort=true, no certificate needed).
+type discardMsg struct {
+	File  id.File
+	Cert  *cert.ReclaimCertificate
+	Abort bool
+}
+
+type discardReply struct {
+	Had     bool
+	Size    int64
+	Receipt *cert.ReclaimReceipt
+}
+
+// fetchMsg retrieves replica content directly from a known holder
+// (pointer chase during lookup, content transfer during migration).
+type fetchMsg struct {
+	File id.File
+}
+
+type fetchReply struct {
+	Found   bool
+	Size    int64
+	Content []byte
+	Cert    *cert.FileCertificate
+}
+
+// acquireMsg tells a node it should now hold a replica of File (it has
+// become one of the k closest). Holder is a live node that has a copy.
+// If HolderLeaving, the holder has just ceased to be one of the k
+// closest, so the receiver may install a diverted-replica pointer to it
+// instead of copying the content (section 3.5's join optimization).
+type acquireMsg struct {
+	File          id.File
+	Key           id.Node
+	Size          int64
+	K             int
+	Holder        id.Node
+	HolderLeaving bool
+}
+
+type acquireStatus uint8
+
+const (
+	acquireAlreadyHave acquireStatus = iota
+	acquireStored
+	acquirePointer // installed pointer to the (leaving) holder
+	acquireFailed
+)
+
+type acquireReply struct {
+	Status acquireStatus
+}
+
+// locateSpaceMsg implements section 3.5's overflow search: a node asks a
+// distant leaf-set member to find, within that member's own leaf set, a
+// node able to hold a diverted replica.
+type locateSpaceMsg struct {
+	File id.File
+	Size int64
+}
+
+type locateSpaceReply struct {
+	OK        bool
+	Candidate id.Node
+}
+
+// convertToDivertedMsg tells the holder of a (former primary) replica
+// that Owner now points at it, so the entry must be retained as a
+// diverted-in replica.
+type convertToDivertedMsg struct {
+	File  id.File
+	Owner id.Node
+}
+
+type ackMsg struct{}

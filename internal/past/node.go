@@ -1,0 +1,291 @@
+// Package past implements the PAST storage utility: the paper's primary
+// contribution. A past.Node couples a Pastry overlay node with a local
+// replica store and a file cache, and implements the three client
+// operations (Insert, Lookup, Reclaim) together with the storage
+// management that is the subject of the paper:
+//
+//   - replica diversion (section 3.3): a node among the k numerically
+//     closest to a fileId that cannot accommodate a replica diverts it to
+//     a leaf-set member with maximal free space, keeping a pointer, with
+//     a backup pointer at the k+1-th closest node;
+//   - file diversion (section 3.4): when an insert attempt fails, the
+//     client re-salts the fileId and retries in a different part of the
+//     nodeId space, up to three times;
+//   - replica maintenance (section 3.5): nodes re-establish the
+//     "k replicas on the k closest nodes" invariant as nodes join, fail,
+//     and recover, migrating replicas or installing diverted-replica
+//     pointers;
+//   - caching (section 4): files are cached on the nodes a request is
+//     routed through, in the unused portion of the advertised disk, with
+//     GreedyDual-Size replacement.
+package past
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"past/internal/cache"
+	"past/internal/cert"
+	"past/internal/id"
+	"past/internal/netsim"
+	"past/internal/pastry"
+	"past/internal/store"
+)
+
+// Config carries PAST's parameters on top of the Pastry configuration.
+type Config struct {
+	Pastry pastry.Config
+	// K is the replication factor (the paper fixes k=5, chosen from the
+	// availability analysis of desktop machines in Bolosky et al.).
+	K int
+	// TPri is the acceptance threshold for primary replicas: a node
+	// rejects file D when SD/FN > TPri. Paper default 0.1.
+	TPri float64
+	// TDiv is the (stricter) acceptance threshold for diverted replicas.
+	// Paper default 0.05.
+	TDiv float64
+	// MaxRetries is the number of file diversions (re-salted retries)
+	// after the first failed insert attempt. Paper: 3.
+	MaxRetries int
+	// CachePolicy selects the cache replacement policy (default GD-S).
+	CachePolicy cache.Policy
+	// CacheFrac is the insertion-policy fraction c: cache a file only if
+	// its size is below c times the current cache capacity. Paper: 1.
+	CacheFrac float64
+	// VerifyCerts enables certificate generation and verification on the
+	// insert/lookup/reclaim paths. Requires Issuer, and smartcards on
+	// the participating nodes. The trace-driven experiments disable it,
+	// as public-key operations would dominate their run time without
+	// affecting any measured quantity.
+	VerifyCerts bool
+	// Issuer is the smartcard issuer's public key, used to verify
+	// certificate chains when VerifyCerts is set.
+	Issuer ed25519.PublicKey
+	// NodeKeys resolves a nodeId to that node's public key. When set
+	// together with VerifyCerts, clients verify the store receipts
+	// returned by an insert, confirming the requested number of copies
+	// was created (section 2.2).
+	NodeKeys NodeKeyDirectory
+	// Monitor, if non-nil, observes storage events for the experiment
+	// harness.
+	Monitor Monitor
+	// RandomDivert replaces the paper's max-free-space choice of the
+	// diverted-replica target (section 3.3.1, policy 2) with a uniformly
+	// random eligible node. Used only by the ablation benchmarks.
+	RandomDivert bool
+}
+
+// DefaultConfig returns the paper's parameters: k=5, tpri=0.1,
+// tdiv=0.05, three retries, GD-S caching with c=1, b=4, l=32.
+func DefaultConfig() Config {
+	return Config{
+		Pastry:      pastry.DefaultConfig(),
+		K:           5,
+		TPri:        0.1,
+		TDiv:        0.05,
+		MaxRetries:  3,
+		CachePolicy: cache.GDS,
+		CacheFrac:   1,
+	}
+}
+
+// withDefaults fills parameters whose zero value is never meaningful.
+// TPri, TDiv, and MaxRetries are taken literally: tpri=1/tdiv=0 with no
+// retries is exactly the paper's no-diversion baseline (section 5.1),
+// so zero must remain expressible. Use DefaultConfig for paper defaults.
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.CacheFrac == 0 {
+		c.CacheFrac = 1
+	}
+	return c
+}
+
+// NodeKeyDirectory resolves node identities to their public keys. The
+// paper's smartcard scheme makes every node's key verifiable against
+// the issuer; this interface abstracts how a deployment distributes
+// them (the emulation uses an in-memory registry).
+type NodeKeyDirectory interface {
+	NodeKey(n id.Node) (ed25519.PublicKey, bool)
+}
+
+// KeyRegistry is an in-memory NodeKeyDirectory.
+type KeyRegistry struct {
+	mu   sync.RWMutex
+	keys map[id.Node]ed25519.PublicKey
+}
+
+// NewKeyRegistry creates an empty registry.
+func NewKeyRegistry() *KeyRegistry {
+	return &KeyRegistry{keys: make(map[id.Node]ed25519.PublicKey)}
+}
+
+// Add records a node's public key.
+func (k *KeyRegistry) Add(n id.Node, pub ed25519.PublicKey) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.keys[n] = pub
+}
+
+// NodeKey implements NodeKeyDirectory.
+func (k *KeyRegistry) NodeKey(n id.Node) (ed25519.PublicKey, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	pub, ok := k.keys[n]
+	return pub, ok
+}
+
+// Monitor observes storage events; the experiment harness uses it to
+// maintain utilization and diversion-ratio series.
+type Monitor interface {
+	// ReplicaStored fires when a node stores a replica (primary or
+	// diverted).
+	ReplicaStored(f id.File, size int64, diverted bool)
+	// ReplicaDiscarded fires when a node discards a replica.
+	ReplicaDiscarded(f id.File, size int64, diverted bool)
+}
+
+// Node is a PAST storage node.
+type Node struct {
+	cfg     Config
+	overlay *pastry.Node
+	net     netsim.Net
+
+	mu    sync.Mutex
+	store store.Backend
+	cache *cache.Cache
+	card  *cert.Smartcard
+	rng   *rand.Rand
+
+	// maintenance state
+	maintaining     bool
+	maintainPending bool
+	leaving         bool  // graceful departure in progress: refuse new replicas
+	belowK          int64 // replicas that could not be re-created anywhere
+}
+
+// New creates a PAST node with the given storage capacity in bytes,
+// backed by the in-memory store. The caller must register the node as
+// the netsim endpoint for nid and then call Bootstrap or Join on the
+// overlay (via the Overlay accessor).
+func New(nid id.Node, net netsim.Net, cfg Config, capacity int64, seed int64) *Node {
+	return NewWithStore(nid, net, cfg, store.New(capacity), seed)
+}
+
+// NewWithStore creates a PAST node over an explicit storage backend —
+// a store.DiskStore for a persistent daemon, the in-memory store for
+// emulation.
+func NewWithStore(nid id.Node, net netsim.Net, cfg Config, backend store.Backend, seed int64) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:   cfg,
+		net:   net,
+		store: backend,
+		cache: cache.New(cfg.CachePolicy, cfg.CacheFrac),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	n.overlay = pastry.New(nid, net, cfg.Pastry, (*app)(n), seed^0x5eed)
+	n.overlay.OnLeafSetChange = n.maintainReplicas
+	n.cache.SetLimit(n.store.Free())
+	if cfg.K > n.overlay.Config().L/2+1 {
+		panic(fmt.Sprintf("past: k=%d exceeds l/2+1=%d", cfg.K, n.overlay.Config().L/2+1))
+	}
+	return n
+}
+
+// Overlay returns the underlying Pastry node (for Bootstrap/Join and
+// state inspection).
+func (n *Node) Overlay() *pastry.Node { return n.overlay }
+
+// ID returns the node's identifier.
+func (n *Node) ID() id.Node { return n.overlay.ID() }
+
+// SetSmartcard installs the node's smartcard, used to issue store and
+// reclaim receipts when certificate verification is enabled.
+func (n *Node) SetSmartcard(c *cert.Smartcard) { n.card = c }
+
+// Capacity returns the advertised storage capacity in bytes.
+func (n *Node) Capacity() int64 { return n.store.Capacity() }
+
+// StoredBytes returns the bytes occupied by replicas on this node.
+func (n *Node) StoredBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Used()
+}
+
+// Utilization returns this node's replica storage utilization in [0,1].
+func (n *Node) Utilization() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Utilization()
+}
+
+// CacheStats returns cumulative cache hits, misses, and evictions.
+func (n *Node) CacheStats() (hits, misses, evictions int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cache.Stats()
+}
+
+// StoreSnapshot returns the node's replica entries and pointers, for
+// invariant checking in tests and the state printer.
+func (n *Node) StoreSnapshot() ([]store.Entry, []store.Pointer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Entries(), n.store.Pointers()
+}
+
+// BelowKEvents returns how many times maintenance failed to re-create a
+// replica anywhere (the paper's "number of replicas may temporarily
+// drop below k" case).
+func (n *Node) BelowKEvents() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.belowK
+}
+
+// addReplicaLocked stores a replica and gives the cache whatever space
+// remains. Caller holds n.mu.
+func (n *Node) addReplicaLocked(e store.Entry) error {
+	// Replicas displace cached copies: shrink the cache first so the
+	// store sees the space as free.
+	n.cache.SetLimit(n.store.Free() - e.Size)
+	if err := n.store.Add(e); err != nil {
+		n.cache.SetLimit(n.store.Free())
+		return err
+	}
+	// The replica must not also linger as a cached copy.
+	n.cache.Remove(e.File)
+	n.cache.SetLimit(n.store.Free())
+	if n.cfg.Monitor != nil {
+		n.cfg.Monitor.ReplicaStored(e.File, e.Size, e.Kind == store.DivertedIn)
+	}
+	return nil
+}
+
+// removeReplicaLocked discards a replica and returns the space to the
+// cache. Caller holds n.mu.
+func (n *Node) removeReplicaLocked(f id.File) (store.Entry, bool) {
+	e, ok := n.store.Remove(f)
+	if !ok {
+		return store.Entry{}, false
+	}
+	n.cache.SetLimit(n.store.Free())
+	if n.cfg.Monitor != nil {
+		n.cfg.Monitor.ReplicaDiscarded(e.File, e.Size, e.Kind == store.DivertedIn)
+	}
+	return e, true
+}
+
+// issueStoreReceipt signs a store receipt if a smartcard is installed.
+func (n *Node) issueStoreReceipt(f id.File) *cert.StoreReceipt {
+	if n.card == nil {
+		return nil
+	}
+	return n.card.IssueStoreReceipt(f)
+}

@@ -1,0 +1,153 @@
+package past
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/store"
+)
+
+// TestRandomOpSequencesPreserveInvariants drives a cluster with random
+// interleavings of insert, lookup, reclaim, node failure, recovery, and
+// maintenance, then checks the global invariants after every batch:
+//
+//  1. no node stores more bytes than its advertised capacity;
+//  2. every live file satisfies the k-closest replica/pointer invariant;
+//  3. every live file is retrievable; every reclaimed file's replicas
+//     are gone from every store;
+//  4. no diverted-out pointer dangles at a live node without a replica.
+func TestRandomOpSequencesPreserveInvariants(t *testing.T) {
+	for _, seed := range []int64{101, 202, 303} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runRandomOps(t, seed)
+		})
+	}
+}
+
+func runRandomOps(t *testing.T, seed int64) {
+	cfg := smallCfg()
+	c := testCluster(t, 40, cfg, 1<<21, seed)
+	rng := rand.New(rand.NewSource(seed))
+	client := c.Nodes[0] // never failed, so ops always have an access point
+
+	type file struct {
+		fid  id.File
+		size int64
+	}
+	live := map[id.File]int64{}
+	reclaimed := map[id.File]bool{}
+	down := map[id.Node][]id.Node{}
+	nextName := 0
+
+	for batch := 0; batch < 8; batch++ {
+		for op := 0; op < 25; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				size := int64(rng.Intn(8 << 10))
+				res, err := client.Insert(InsertSpec{Name: fmt.Sprintf("p-%d-%d", seed, nextName), Size: size})
+				nextName++
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.OK {
+					live[res.FileID] = size
+				}
+			case 4, 5, 6: // lookup of a random live file
+				for fid := range live {
+					if _, err := client.Lookup(fid); err != nil {
+						t.Fatal(err)
+					}
+					break
+				}
+			case 7: // reclaim
+				// Reclaim only while every node is up: a node that is
+				// down during a reclaim legitimately revives its stale
+				// replica on recovery (the paper's weak reclaim
+				// semantics), which would void the strict assertion.
+				if len(down) > 0 {
+					continue
+				}
+				for fid := range live {
+					if _, err := client.Reclaim(fid, nil); err != nil {
+						t.Fatal(err)
+					}
+					delete(live, fid)
+					reclaimed[fid] = true
+					break
+				}
+			case 8: // fail a node (at most 2 down at once, never the client)
+				if len(down) >= 2 {
+					continue
+				}
+				alive := c.Net.AliveNodes()
+				nid := alive[rng.Intn(len(alive))]
+				if nid == client.ID() {
+					continue
+				}
+				down[nid] = c.ByID[nid].Overlay().LeafSet()
+				c.Fail(nid)
+			case 9: // recover a node
+				for nid, leaf := range down {
+					c.Recover(nid)
+					if err := c.ByID[nid].Overlay().Rejoin(leaf); err != nil {
+						t.Fatal(err)
+					}
+					delete(down, nid)
+					break
+				}
+			}
+		}
+		c.Maintain()
+		c.Maintain()
+		checkGlobalInvariants(t, c, cfg.K, live, reclaimed)
+	}
+}
+
+func checkGlobalInvariants(t *testing.T, c *Cluster, k int, live map[id.File]int64, reclaimed map[id.File]bool) {
+	t.Helper()
+	// (1) capacity; (4) pointer integrity.
+	for _, n := range c.Nodes {
+		if !c.Net.Alive(n.ID()) {
+			continue
+		}
+		if n.StoredBytes() > n.Capacity() {
+			t.Fatalf("node %s stores %d > capacity %d", n.ID().Short(), n.StoredBytes(), n.Capacity())
+		}
+		_, ptrs := n.StoreSnapshot()
+		for _, p := range ptrs {
+			if p.Role != store.DivertedOut {
+				continue
+			}
+			if !c.Net.Alive(p.Target) {
+				continue // repaired on the next maintenance round
+			}
+			if !c.ByID[p.Target].HasReplica(p.File) {
+				// A dangling pointer to a live node is only legal for
+				// reclaimed files (stale backup state is discarded lazily).
+				if !reclaimed[p.File] {
+					t.Fatalf("node %s has dangling pointer to %s for live file %s",
+						n.ID().Short(), p.Target.Short(), p.File.Short())
+				}
+			}
+		}
+	}
+	// (2)+(3) live files.
+	for fid := range live {
+		assertReplicaInvariant(t, c, fid, k)
+		got, err := c.Nodes[0].Lookup(fid)
+		if err != nil || !got.Found {
+			t.Fatalf("live file %s not retrievable: %v", fid.Short(), err)
+		}
+	}
+	// (3) reclaimed files hold no replicas anywhere.
+	for fid := range reclaimed {
+		for _, n := range c.Nodes {
+			if n.HasReplica(fid) {
+				t.Fatalf("reclaimed file %s still on %s", fid.Short(), n.ID().Short())
+			}
+		}
+	}
+}

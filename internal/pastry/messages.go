@@ -1,0 +1,151 @@
+package pastry
+
+import (
+	"fmt"
+
+	"past/internal/id"
+	"past/internal/netsim"
+)
+
+// Wire-visible message types. These are the only values Pastry nodes
+// exchange; the application payload inside RouteRequest is opaque to
+// this package.
+
+// RouteRequest carries a routed message. It travels hop by hop: every
+// node either consumes it (application Forward/Deliver) or forwards it to
+// the next hop, incrementing Hops.
+type RouteRequest struct {
+	Key     id.Node
+	Payload any
+	Hops    int
+
+	// CollectPath asks every hop to append itself to Path.
+	CollectPath bool
+	Path        []id.Node
+
+	// JoinCollect asks every hop to contribute routing-table candidates
+	// for a joining node; used only by the join protocol.
+	JoinCollect bool
+	Rows        []id.Node
+}
+
+// RouteReply is the response to a RouteRequest, produced by the node
+// that consumed the message and passed back through every hop.
+type RouteReply struct {
+	Payload any
+	Hops    int
+	Path    []id.Node
+
+	// Join protocol results: the terminal node's identity and leaf set,
+	// and the routing candidates collected along the path.
+	Terminal id.Node
+	Leaf     []id.Node
+	Rows     []id.Node
+}
+
+// joinPayload marks a RouteRequest as a node-join message; it is
+// consumed by the Pastry layer itself at the terminal node.
+type joinPayload struct {
+	Joiner id.Node
+}
+
+// Ping is the keep-alive probe neighboring nodes exchange.
+type Ping struct{}
+
+// Pong answers a Ping.
+type Pong struct{}
+
+// StateRequest asks a node for its leaf set and neighborhood set; used
+// during join, recovery, and leaf-set repair.
+type StateRequest struct{}
+
+// StateReply carries a node's visible routing state.
+type StateReply struct {
+	ID   id.Node
+	Leaf []id.Node
+	Nbrs []id.Node
+}
+
+// Announce tells a node that NewNode has arrived (or recovered) so it
+// can update its leaf set, routing table, and neighborhood set.
+type Announce struct {
+	NewNode id.Node
+}
+
+// Depart tells a node that Node is leaving the network gracefully, so
+// it can be dropped from all state immediately instead of waiting for
+// keep-alive timeouts.
+type Depart struct {
+	Node id.Node
+}
+
+// RowRequest asks a node for routing-table row Row; used to repair a
+// table entry that referred to a failed node (the "repaired lazily"
+// procedure of section 2.1: a peer that shares the dead entry's prefix
+// likely knows a live replacement).
+type RowRequest struct {
+	Row int
+}
+
+// RowReply carries the non-empty entries of the requested row.
+type RowReply struct {
+	Entries []id.Node
+}
+
+// Ack is the generic empty acknowledgment.
+type Ack struct{}
+
+// Deliver implements netsim.Endpoint for a bare Pastry node; nodes
+// wrapped by an application (PAST) route through the wrapper instead,
+// which delegates unknown messages here.
+func (n *Node) Deliver(from id.Node, msg any) (any, error) {
+	switch m := msg.(type) {
+	case *RouteRequest:
+		return n.routeStep(m)
+	case *Ping:
+		return &Pong{}, nil
+	case *StateRequest:
+		return n.stateReply(), nil
+	case *Announce:
+		if n.consider(m.NewNode) {
+			n.notifyLeafChange()
+		}
+		return &Ack{}, nil
+	case *Depart:
+		// Forget immediately so routes avoid the departing node; the
+		// vacated leaf/table slots refill on the next keep-alive round,
+		// once the node is actually gone (repairing now could re-learn
+		// it from peers that have not yet processed their Depart).
+		if n.forget(m.Node) {
+			n.notifyLeafChange()
+		}
+		return &Ack{}, nil
+	case *RowRequest:
+		if m.Row < 0 || m.Row >= len(n.rows) {
+			return &RowReply{}, nil
+		}
+		n.mu.Lock()
+		var entries []id.Node
+		for _, e := range n.rows[m.Row] {
+			if !e.IsZero() {
+				entries = append(entries, e)
+			}
+		}
+		n.mu.Unlock()
+		return &RowReply{Entries: entries}, nil
+	default:
+		return nil, fmt.Errorf("pastry: node %s: unknown message %T", n.self.Short(), msg)
+	}
+}
+
+var _ netsim.Endpoint = (*Node)(nil)
+
+func (n *Node) stateReply() *StateReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return &StateReply{
+		ID:   n.self,
+		Leaf: n.leafSetLocked(),
+		Nbrs: append([]id.Node(nil), n.nbrs...),
+	}
+}

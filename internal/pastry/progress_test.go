@@ -1,0 +1,68 @@
+package pastry
+
+import (
+	"testing"
+)
+
+// TestNextHopProgressProperty checks the routing-progress invariant on
+// every (node, key) pair the cluster offers: whenever nextHop forwards,
+// the chosen hop either shares a strictly longer prefix with the key
+// (the table step) or is strictly numerically closer to it (the
+// leaf-set and rare-case steps) — each step decreases a well-founded
+// measure, so routing is loop-free and terminates (section 2.1).
+func TestNextHopProgressProperty(t *testing.T) {
+	for _, cfg := range []Config{
+		{B: 4, L: 16},
+		{B: 2, L: 8},
+		{B: 4, L: 16, RandomizeP: 0.5},
+	} {
+		c := buildCluster(t, 80, cfg, 91)
+		checked := 0
+		for _, nid := range c.net.AliveNodes() {
+			n := c.nodes[nid]
+			for trial := 0; trial < 20; trial++ {
+				key := randKey(c.rng)
+				next := n.nextHop(key)
+				if next.IsZero() {
+					continue // consumed locally; termination trivially holds
+				}
+				checked++
+				pSelf := nid.SharedPrefix(key, cfg.B)
+				pNext := next.SharedPrefix(key, cfg.B)
+				if pNext > pSelf {
+					continue // prefix progress
+				}
+				if next.RingDist(key).Less(nid.RingDist(key)) {
+					continue // numeric progress
+				}
+				t.Fatalf("b=%d: hop %s -> %s for key %s violates progress (prefix %d->%d)",
+					cfg.B, nid.Short(), next.Short(), key.Short(), pSelf, pNext)
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no forwarding decisions exercised")
+		}
+	}
+}
+
+// TestLeafSetSymmetry checks the pairwise invariant that makes failure
+// notification work: if y is in x's leaf set, then x is in y's (in a
+// stable network whose node count exceeds l).
+func TestLeafSetSymmetry(t *testing.T) {
+	cfg := Config{B: 4, L: 8}
+	c := buildCluster(t, 60, cfg, 92)
+	for _, nid := range c.net.AliveNodes() {
+		for _, m := range c.nodes[nid].LeafSet() {
+			found := false
+			for _, back := range c.nodes[m].LeafSet() {
+				if back == nid {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("leaf sets asymmetric: %s has %s but not vice versa", nid.Short(), m.Short())
+			}
+		}
+	}
+}

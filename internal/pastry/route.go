@@ -1,0 +1,216 @@
+package pastry
+
+import (
+	"errors"
+	"fmt"
+
+	"past/internal/id"
+	"past/internal/netsim"
+)
+
+// ErrHopLimit reports a route that exceeded the configured hop bound,
+// which indicates corrupted routing state rather than a transient fault.
+var ErrHopLimit = errors.New("pastry: hop limit exceeded")
+
+// Route routes payload toward key and returns the consuming node's reply
+// and the number of overlay hops taken (0 if this node consumed the
+// message itself).
+func (n *Node) Route(key id.Node, payload any) (reply any, hops int, err error) {
+	req := &RouteRequest{Key: key, Payload: payload}
+	rr, err := n.routeStep(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rr.Payload, rr.Hops, nil
+}
+
+// RouteTraced is Route with per-hop path collection, for experiments and
+// diagnostics.
+func (n *Node) RouteTraced(key id.Node, payload any) (reply any, hops int, path []id.Node, err error) {
+	req := &RouteRequest{Key: key, Payload: payload, CollectPath: true}
+	rr, err := n.routeStep(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return rr.Payload, rr.Hops, rr.Path, nil
+}
+
+// routeStep processes a routed message at this node: consume it here
+// (application Forward, application Deliver, or join handling) or
+// forward it to the next hop. It is called both for messages originated
+// by this node and for messages received from the network.
+func (n *Node) routeStep(req *RouteRequest) (*RouteReply, error) {
+	if req.Hops > n.cfg.HopLimit {
+		return nil, fmt.Errorf("%w: key %s at node %s after %d hops",
+			ErrHopLimit, req.Key.Short(), n.self.Short(), req.Hops)
+	}
+	if req.CollectPath {
+		req.Path = append(req.Path, n.self)
+	}
+	join, isJoin := req.Payload.(joinPayload)
+	if isJoin {
+		n.collectJoinRows(req, join.Joiner)
+	} else {
+		handled, reply, err := n.app.Forward(req.Key, req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return &RouteReply{Payload: reply, Hops: req.Hops, Path: req.Path}, nil
+		}
+	}
+
+	for {
+		next := n.nextHop(req.Key)
+		if next.IsZero() {
+			// This node is the numerically closest live node it knows of:
+			// consume the message.
+			if isJoin {
+				st := n.stateReply()
+				return &RouteReply{
+					Hops: req.Hops, Path: req.Path,
+					Terminal: n.self, Leaf: st.Leaf, Rows: req.Rows,
+				}, nil
+			}
+			reply, err := n.app.Deliver(req.Key, req.Payload)
+			if err != nil {
+				return nil, err
+			}
+			return &RouteReply{Payload: reply, Hops: req.Hops, Path: req.Path}, nil
+		}
+
+		req.Hops++
+		res, err := n.net.Invoke(n.self, next, req)
+		if errors.Is(err, netsim.ErrNodeDown) || errors.Is(err, netsim.ErrUnknownNode) {
+			// The presumed-failed analogue of a keep-alive timeout: drop
+			// the dead entry, repair the vacated table slot from peers,
+			// and retry with the next best candidate.
+			req.Hops--
+			if n.forget(next) {
+				n.notifyLeafChange()
+			}
+			n.repairTableEntry(next)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		rr, ok := res.(*RouteReply)
+		if !ok {
+			return nil, fmt.Errorf("pastry: unexpected route reply %T from %s", res, next.Short())
+		}
+		if !isJoin {
+			n.app.Backward(req.Key, req.Payload, rr.Payload)
+		}
+		return rr, nil
+	}
+}
+
+// collectJoinRows contributes this node's routing-table rows (up to and
+// including the row indexed by the shared-prefix length with the joiner)
+// plus itself to the join message's candidate set.
+func (n *Node) collectJoinRows(req *RouteRequest, joiner id.Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p := n.self.SharedPrefix(joiner, n.cfg.B)
+	if p >= len(n.rows) {
+		p = len(n.rows) - 1
+	}
+	for r := 0; r <= p; r++ {
+		for _, e := range n.rows[r] {
+			if !e.IsZero() {
+				req.Rows = append(req.Rows, e)
+			}
+		}
+	}
+	req.Rows = append(req.Rows, n.self)
+}
+
+// nextHop selects the node to forward a message for key to, or the zero
+// id if this node should consume it. This is the routing procedure of
+// section 2.1: leaf set if the key is in range, otherwise the routing
+// table entry with a longer prefix match, otherwise any known node that
+// is closer to the key without shortening the prefix match (the "rare
+// case"). With RandomizeP > 0 the choice is occasionally made among all
+// valid candidates to defeat repeat-interception.
+func (n *Node) nextHop(key id.Node) id.Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	if key == n.self {
+		return id.Node{}
+	}
+	if n.inLeafRangeLocked(key) {
+		c := n.closestLeafLocked(key)
+		if c == n.self {
+			return id.Node{}
+		}
+		return c
+	}
+
+	best := n.tableLookupLocked(key)
+	if n.cfg.RandomizeP > 0 && n.rng.Float64() < n.cfg.RandomizeP {
+		if c := n.randomValidCandidateLocked(key); !c.IsZero() {
+			return c
+		}
+	}
+	if !best.IsZero() {
+		return best
+	}
+
+	// Rare case: no table entry. Use any known node that shares at least
+	// as long a prefix with the key and is numerically closer to it.
+	myPrefix := n.self.SharedPrefix(key, n.cfg.B)
+	myDist := n.self.RingDist(key)
+	var fallback id.Node
+	bestPrefix := myPrefix
+	bestDist := myDist
+	for _, c := range n.candidatesLocked() {
+		p := c.SharedPrefix(key, n.cfg.B)
+		if p < myPrefix {
+			continue
+		}
+		d := c.RingDist(key)
+		if d.Cmp(myDist) >= 0 {
+			continue
+		}
+		// Prefer longer prefix, then smaller distance.
+		if fallback.IsZero() || p > bestPrefix || (p == bestPrefix && d.Less(bestDist)) {
+			fallback, bestPrefix, bestDist = c, p, d
+		}
+	}
+	return fallback
+}
+
+// candidatesLocked returns the union of leaf set, routing table, and
+// neighborhood set. Caller holds n.mu.
+func (n *Node) candidatesLocked() []id.Node {
+	out := n.tableEntriesLocked()
+	out = append(out, n.leafLo...)
+	out = append(out, n.leafHi...)
+	out = append(out, n.nbrs...)
+	return out
+}
+
+// randomValidCandidateLocked picks a uniformly random candidate that
+// preserves routing progress: at least as long a prefix match with the
+// key, strictly smaller numerical distance. Caller holds n.mu.
+func (n *Node) randomValidCandidateLocked(key id.Node) id.Node {
+	myPrefix := n.self.SharedPrefix(key, n.cfg.B)
+	myDist := n.self.RingDist(key)
+	var valid []id.Node
+	seen := make(map[id.Node]bool)
+	for _, c := range n.candidatesLocked() {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		if c.SharedPrefix(key, n.cfg.B) >= myPrefix && c.RingDist(key).Less(myDist) {
+			valid = append(valid, c)
+		}
+	}
+	if len(valid) == 0 {
+		return id.Node{}
+	}
+	return valid[n.rng.Intn(len(valid))]
+}

@@ -1,0 +1,21 @@
+package pastry
+
+import "encoding/gob"
+
+// RegisterWire registers every Pastry message type with the gob codec
+// used by the TCP transport. The in-process emulation passes values
+// directly and does not need this.
+func RegisterWire() {
+	gob.Register(&RouteRequest{})
+	gob.Register(&RouteReply{})
+	gob.Register(joinPayload{})
+	gob.Register(&Ping{})
+	gob.Register(&Pong{})
+	gob.Register(&StateRequest{})
+	gob.Register(&StateReply{})
+	gob.Register(&Announce{})
+	gob.Register(&Depart{})
+	gob.Register(&RowRequest{})
+	gob.Register(&RowReply{})
+	gob.Register(&Ack{})
+}

@@ -1,0 +1,170 @@
+// Package plot renders line charts and scatter plots as fixed-width
+// text, so past-bench can draw the paper's figures — not just their
+// data tables — on a terminal. The renderer is deliberately simple:
+// linear or log10 y-axis, multiple series distinguished by marker
+// runes, automatic bounds, and a legend.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Chart describes a plot.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int  // plot columns (default 64)
+	Height int  // plot rows (default 16)
+	LogY   bool // log10 y-axis (Figures 2 and 3 use one)
+	// YMin/YMax fix the y-range; both zero = automatic.
+	YMin, YMax float64
+	Series     []Series
+}
+
+// DefaultMarkers are assigned to series lacking one.
+var DefaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	// Collect bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return c.Title + "\n(no data)\n"
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+		if c.LogY {
+			ymin, ymax = math.Log10(math.Max(c.YMin, 1e-12)), math.Log10(c.YMax)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	plotPoint := func(x, y float64, m rune) {
+		if c.LogY {
+			if y <= 0 {
+				return
+			}
+			y = math.Log10(y)
+		}
+		if y < ymin || y > ymax || x < xmin || x > xmax {
+			return
+		}
+		col := int((x - xmin) / (xmax - xmin) * float64(w-1))
+		row := h - 1 - int((y-ymin)/(ymax-ymin)*float64(h-1))
+		if grid[row][col] == ' ' || grid[row][col] == m {
+			grid[row][col] = m
+		} else {
+			grid[row][col] = '&' // overlapping series
+		}
+	}
+	for si, s := range c.Series {
+		m := s.Marker
+		if m == 0 {
+			m = DefaultMarkers[si%len(DefaultMarkers)]
+		}
+		for i := range s.X {
+			plotPoint(s.X[i], s.Y[i], m)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLabelAt := func(row int) string {
+		v := ymax - (ymax-ymin)*float64(row)/float64(h-1)
+		if c.LogY {
+			v = math.Pow(10, v)
+			return fmt.Sprintf("%9.2g", v)
+		}
+		return fmt.Sprintf("%9.3g", v)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", 9)
+		if r == 0 || r == h-1 || r == h/2 {
+			label = yLabelAt(r)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-10.3g%s%10.3g\n", strings.Repeat(" ", 9),
+		xmin, strings.Repeat(" ", maxInt(1, w-20)), xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s", strings.Repeat(" ", 9), c.XLabel, yAxisName(c))
+		b.WriteByte('\n')
+	}
+	var legend []string
+	for si, s := range c.Series {
+		m := s.Marker
+		if m == 0 {
+			m = DefaultMarkers[si%len(DefaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", m, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 9), strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+func yAxisName(c Chart) string {
+	if c.LogY {
+		return c.YLabel + " (log)"
+	}
+	return c.YLabel
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatal("missing legend")
+	}
+	// Both markers (or the overlap rune) must appear in the grid.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatal("markers not plotted")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderMonotoneSeriesShape(t *testing.T) {
+	// An increasing series must place its marker lower (later row) for
+	// smaller x: verify the first column's marker row is below the last
+	// column's.
+	c := Chart{Width: 20, Height: 10, Series: []Series{
+		{Name: "s", Marker: '*', X: []float64{0, 1}, Y: []float64{0, 1}},
+	}}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, l := range lines {
+		if idx := strings.IndexRune(l, '*'); idx >= 0 {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 || firstRow >= lastRow {
+		t.Fatalf("increasing series not rendered top-right to bottom-left: rows %d..%d", firstRow, lastRow)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := Chart{
+		LogY: true,
+		Series: []Series{{
+			Name: "f",
+			X:    []float64{0, 50, 100},
+			Y:    []float64{0.0001, 0.01, 1},
+		}},
+	}
+	out := c.Render()
+	if !strings.ContainsRune(out, '*') {
+		t.Fatal("log chart empty")
+	}
+	// Zero/negative values are skipped, not crashed on.
+	c.Series[0].Y[0] = 0
+	if out := c.Render(); !strings.ContainsRune(out, '*') {
+		t.Fatal("log chart with zero value lost all points")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty chart must say so")
+	}
+	// All-nonpositive with LogY is also empty.
+	out = Chart{LogY: true, Series: []Series{{Name: "z", X: []float64{1}, Y: []float64{0}}}}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatal("all-skipped log chart must be empty")
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	c := Chart{Width: 10, Height: 5, Series: []Series{
+		{Name: "a", Marker: 'a', X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "b", Marker: 'b', X: []float64{0, 1}, Y: []float64{0, 1}},
+	}}
+	out := c.Render()
+	if !strings.ContainsRune(out, '&') {
+		t.Fatal("overlapping points must render the overlap rune")
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	c := Chart{
+		Width: 20, Height: 8,
+		YMin: 0, YMax: 100,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{50, 150}}},
+	}
+	out := c.Render()
+	// The out-of-range point is clipped, the in-range one plotted; count
+	// markers only inside the grid (legend lines carry one too).
+	plotted := 0
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			plotted += strings.Count(l, "*")
+		}
+	}
+	if plotted != 1 {
+		t.Fatalf("clipping failed, %d plotted:\n%s", plotted, out)
+	}
+}

@@ -1,0 +1,234 @@
+// Package stats provides the random processes and descriptive statistics
+// the PAST evaluation is built from: truncated normal distributions for
+// node storage capacities (Table 1 of the paper), a finite Zipf sampler
+// for web-request popularity (the paper cites Breslau et al.'s evidence
+// of Zipf-like web request distributions), and lognormal file-size
+// distributions calibrated from published medians and means.
+//
+// All sampling is driven by an explicit *rand.Rand so that every
+// experiment in this repository is deterministic given its seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic PRNG for the given seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// TruncNormal is a normal distribution with mean Mean and standard
+// deviation Sigma, truncated to the closed interval [Lo, Hi]. The paper's
+// node-capacity distributions d1-d4 are all of this form.
+type TruncNormal struct {
+	Mean, Sigma float64
+	Lo, Hi      float64
+}
+
+// Sample draws one value by rejection. It panics if the interval is
+// empty or inverted, which indicates a misconfigured experiment.
+func (t TruncNormal) Sample(r *rand.Rand) float64 {
+	if t.Lo > t.Hi {
+		panic(fmt.Sprintf("stats: truncated normal with empty support [%g,%g]", t.Lo, t.Hi))
+	}
+	if t.Sigma <= 0 {
+		return math.Min(math.Max(t.Mean, t.Lo), t.Hi)
+	}
+	for {
+		v := r.NormFloat64()*t.Sigma + t.Mean
+		if v >= t.Lo && v <= t.Hi {
+			return v
+		}
+	}
+}
+
+// Zipf samples ranks 0..N-1 with probability proportional to
+// 1/(rank+1)^Alpha. Unlike math/rand's Zipf it supports exponents <= 1,
+// which real web traces exhibit (Breslau et al. report alpha in
+// 0.64-0.83); it uses an explicit inverse-CDF table, so construction is
+// O(N) and sampling is O(log N).
+type Zipf struct {
+	cdf   []float64
+	alpha float64
+}
+
+// NewZipf builds a finite Zipf distribution over n ranks with exponent
+// alpha > 0.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs n > 0")
+	}
+	if alpha <= 0 {
+		panic("stats: Zipf needs alpha > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, alpha: alpha}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Alpha returns the exponent.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Rank draws a popularity rank in [0, N), rank 0 being the most popular.
+func (z *Zipf) Rank(r *rand.Rand) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// LogNormal is the distribution of exp(N(Mu, Sigma^2)).
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// LogNormalFromMedianMean solves for the unique lognormal with the given
+// median and mean. For a lognormal, median = e^mu and
+// mean = e^(mu + sigma^2/2), so sigma^2 = 2 ln(mean/median). The paper
+// reports exactly these two moments for both of its workloads, which is
+// what makes this the natural synthetic substitute.
+func LogNormalFromMedianMean(median, mean float64) LogNormal {
+	if median <= 0 || mean < median {
+		panic(fmt.Sprintf("stats: lognormal needs 0 < median <= mean, got median=%g mean=%g", median, mean))
+	}
+	mu := math.Log(median)
+	sigma := math.Sqrt(2 * math.Log(mean/median))
+	return LogNormal{Mu: mu, Sigma: sigma}
+}
+
+// Sample draws one value.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(r.NormFloat64()*l.Sigma + l.Mu)
+}
+
+// SizeDist produces integer file sizes: a lognormal body clamped to
+// [Min, Max], with an optional probability PZero of an empty file (both
+// paper workloads contain zero-byte files).
+type SizeDist struct {
+	LN       LogNormal
+	Min, Max int64
+	PZero    float64
+}
+
+// Sample draws one file size in bytes.
+func (s SizeDist) Sample(r *rand.Rand) int64 {
+	if s.PZero > 0 && r.Float64() < s.PZero {
+		return 0
+	}
+	v := int64(s.LN.Sample(r))
+	if v < s.Min {
+		v = s.Min
+	}
+	if s.Max > 0 && v > s.Max {
+		v = s.Max
+	}
+	return v
+}
+
+// Summary holds descriptive statistics of an int64 sample.
+type Summary struct {
+	Count  int
+	Sum    int64
+	Mean   float64
+	Median int64
+	Min    int64
+	Max    int64
+}
+
+// Summarize computes count, sum, mean, median, min, and max. It does not
+// modify xs.
+func Summarize(xs []int64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]int64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, x := range sorted {
+		s.Sum += x
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	s.Median = Percentile(sorted, 50)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) of an ascending-sorted
+// sample using nearest-rank.
+func Percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// Histogram counts observations in fixed-width buckets over [Lo, Hi).
+// Observations outside the range land in the first or last bucket, so no
+// sample is silently dropped.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	N      int64
+}
+
+// NewHistogram creates a histogram with nbuckets buckets over [lo, hi).
+func NewHistogram(lo, hi float64, nbuckets int) *Histogram {
+	if nbuckets <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, nbuckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.N++
+}
+
+// Bucket returns the index of the bucket v falls in.
+func (h *Histogram) Bucket(v float64) int {
+	i := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// BucketLo returns the lower bound of bucket i.
+func (h *Histogram) BucketLo(i int) float64 {
+	return h.Lo + (h.Hi-h.Lo)*float64(i)/float64(len(h.Counts))
+}

@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := NewRand(1)
+	tn := TruncNormal{Mean: 27, Sigma: 10.8, Lo: 2, Hi: 51}
+	for i := 0; i < 10000; i++ {
+		v := tn.Sample(r)
+		if v < tn.Lo || v > tn.Hi {
+			t.Fatalf("sample %g outside [%g,%g]", v, tn.Lo, tn.Hi)
+		}
+	}
+}
+
+func TestTruncNormalMean(t *testing.T) {
+	r := NewRand(2)
+	tn := TruncNormal{Mean: 27, Sigma: 9.6, Lo: 4, Hi: 49}
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += tn.Sample(r)
+	}
+	mean := sum / n
+	if math.Abs(mean-27) > 0.5 {
+		t.Fatalf("empirical mean %g too far from 27", mean)
+	}
+}
+
+func TestTruncNormalDegenerateSigma(t *testing.T) {
+	r := NewRand(3)
+	tn := TruncNormal{Mean: 100, Sigma: 0, Lo: 0, Hi: 50}
+	if v := tn.Sample(r); v != 50 {
+		t.Fatalf("degenerate sample = %g; want clamped 50", v)
+	}
+}
+
+func TestTruncNormalPanicsOnEmptySupport(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	TruncNormal{Mean: 0, Sigma: 1, Lo: 5, Hi: 1}.Sample(NewRand(1))
+}
+
+func TestZipfRankRange(t *testing.T) {
+	r := NewRand(4)
+	z := NewZipf(100, 0.8)
+	for i := 0; i < 10000; i++ {
+		k := z.Rank(r)
+		if k < 0 || k >= 100 {
+			t.Fatalf("rank %d out of range", k)
+		}
+	}
+}
+
+func TestZipfMonotonePopularity(t *testing.T) {
+	r := NewRand(5)
+	z := NewZipf(50, 0.8)
+	counts := make([]int, 50)
+	for i := 0; i < 200000; i++ {
+		counts[z.Rank(r)]++
+	}
+	// Rank 0 must dominate rank 10, rank 10 must dominate rank 40.
+	if counts[0] <= counts[10] || counts[10] <= counts[40] {
+		t.Fatalf("popularity not decreasing: %d, %d, %d", counts[0], counts[10], counts[40])
+	}
+}
+
+func TestZipfLowAlphaSupported(t *testing.T) {
+	// math/rand's Zipf cannot do alpha <= 1; ours must.
+	z := NewZipf(1000, 0.64)
+	if z.Alpha() != 0.64 || z.N() != 1000 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogNormalCalibration(t *testing.T) {
+	// The paper's NLANR workload: median 1,312 B, mean 10,517 B.
+	ln := LogNormalFromMedianMean(1312, 10517)
+	r := NewRand(6)
+	const n = 400000
+	xs := make([]float64, n)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = ln.Sample(r)
+		sum += xs[i]
+	}
+	sort.Float64s(xs)
+	med := xs[n/2]
+	mean := sum / n
+	if math.Abs(med-1312)/1312 > 0.05 {
+		t.Fatalf("median %g too far from 1312", med)
+	}
+	if math.Abs(mean-10517)/10517 > 0.15 {
+		t.Fatalf("mean %g too far from 10517", mean)
+	}
+}
+
+func TestLogNormalFromMedianMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for mean < median")
+		}
+	}()
+	LogNormalFromMedianMean(100, 50)
+}
+
+func TestSizeDistClampsAndZeroes(t *testing.T) {
+	r := NewRand(7)
+	sd := SizeDist{
+		LN:    LogNormalFromMedianMean(1312, 10517),
+		Min:   0,
+		Max:   1 << 20,
+		PZero: 0.01,
+	}
+	zeroes := 0
+	for i := 0; i < 20000; i++ {
+		v := sd.Sample(r)
+		if v < 0 || v > 1<<20 {
+			t.Fatalf("size %d outside clamp", v)
+		}
+		if v == 0 {
+			zeroes++
+		}
+	}
+	if zeroes == 0 {
+		t.Fatal("expected some zero-byte files")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int64{5, 1, 9, 3, 7})
+	if s.Count != 5 || s.Min != 1 || s.Max != 9 || s.Median != 5 || s.Sum != 25 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []int64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{0, 10}, {10, 10}, {50, 50}, {90, 90}, {100, 100}}
+	for _, c := range cases {
+		if g := Percentile(sorted, c.p); g != c.want {
+			t.Fatalf("P%g = %d; want %d", c.p, g, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []int64, p float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+		pp := math.Mod(math.Abs(p), 120) // include out-of-range percentiles
+		v := Percentile(raw, pp)
+		return v >= raw[0] && v <= raw[len(raw)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	h.Add(5)
+	h.Add(15)
+	h.Add(15)
+	h.Add(-3)  // clamps to first bucket
+	h.Add(250) // clamps to last bucket
+	if h.Counts[0] != 2 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.N != 5 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Bucket(15) != 1 {
+		t.Fatalf("Bucket(15) = %d", h.Bucket(15))
+	}
+	if h.BucketLo(1) != 10 {
+		t.Fatalf("BucketLo(1) = %g", h.BucketLo(1))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewHistogram(10, 0, 5)
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two generators with the same seed must produce identical streams.
+	a, b := NewRand(42), NewRand(42)
+	z1, z2 := NewZipf(100, 0.8), NewZipf(100, 0.8)
+	for i := 0; i < 1000; i++ {
+		if z1.Rank(a) != z2.Rank(b) {
+			t.Fatal("Zipf sampling not deterministic")
+		}
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	r := NewRand(1)
+	z := NewZipf(1_000_000, 0.8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = z.Rank(r)
+	}
+}
+
+func BenchmarkTruncNormal(b *testing.B) {
+	r := NewRand(1)
+	tn := TruncNormal{Mean: 27, Sigma: 10.8, Lo: 2, Hi: 51}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tn.Sample(r)
+	}
+}

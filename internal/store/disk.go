@@ -1,0 +1,188 @@
+package store
+
+import (
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"past/internal/id"
+)
+
+// DiskStore is a Backend that persists replica contents as files and
+// the file-table metadata as a snapshot, both under a data directory:
+//
+//	<dir>/objects/<aa>/<fileId-hex>   replica contents (aa = first byte)
+//	<dir>/meta.gob                    entries + pointers snapshot
+//
+// Metadata writes are write-through (snapshot rewritten after every
+// mutation, via temp-file rename, so a crash leaves either the old or
+// the new snapshot). Content files are written before the metadata that
+// references them, so a referenced file always exists after recovery.
+type DiskStore struct {
+	mem *Store // accounting and metadata; Content never kept here
+	dir string
+}
+
+var _ Backend = (*DiskStore)(nil)
+
+type diskMeta struct {
+	Capacity int64
+	Entries  []Entry
+	Pointers []Pointer
+}
+
+// OpenDisk opens (or creates) a disk store at dir with the advertised
+// capacity. An existing snapshot is loaded: the node restarts with its
+// previous disk contents, ready to Rejoin the overlay.
+func OpenDisk(dir string, capacity int64) (*DiskStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: open disk %s: %w", dir, err)
+	}
+	d := &DiskStore{mem: New(capacity), dir: dir}
+	raw, err := os.Open(d.metaPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return d, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: open disk %s: %w", dir, err)
+	}
+	defer raw.Close()
+	var meta diskMeta
+	if err := gob.NewDecoder(raw).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("store: corrupt metadata in %s: %w", dir, err)
+	}
+	for _, e := range meta.Entries {
+		e.Content = nil
+		if err := d.mem.Add(e); err != nil {
+			return nil, fmt.Errorf("store: replay metadata: %w", err)
+		}
+	}
+	for _, p := range meta.Pointers {
+		d.mem.SetPointer(p)
+	}
+	return d, nil
+}
+
+func (d *DiskStore) metaPath() string { return filepath.Join(d.dir, "meta.gob") }
+
+func (d *DiskStore) objectPath(f id.File) string {
+	h := hex.EncodeToString(f[:])
+	return filepath.Join(d.dir, "objects", h[:2], h)
+}
+
+// saveMeta rewrites the metadata snapshot atomically.
+func (d *DiskStore) saveMeta() error {
+	tmp, err := os.CreateTemp(d.dir, "meta-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	meta := diskMeta{
+		Capacity: d.mem.Capacity(),
+		Entries:  d.mem.Entries(), // contents are never in mem
+		Pointers: d.mem.Pointers(),
+	}
+	if err := gob.NewEncoder(tmp).Encode(&meta); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.metaPath()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}
+
+// Accounting delegates.
+
+func (d *DiskStore) Capacity() int64                      { return d.mem.Capacity() }
+func (d *DiskStore) Used() int64                          { return d.mem.Used() }
+func (d *DiskStore) Free() int64                          { return d.mem.Free() }
+func (d *DiskStore) Len() int                             { return d.mem.Len() }
+func (d *DiskStore) Utilization() float64                 { return d.mem.Utilization() }
+func (d *DiskStore) CanAccept(size int64, t float64) bool { return d.mem.CanAccept(size, t) }
+
+// Add stores the replica: content file first, then metadata.
+func (d *DiskStore) Add(e Entry) error {
+	content := e.Content
+	e.Content = nil
+	if err := d.mem.Add(e); err != nil {
+		return err
+	}
+	if content != nil {
+		p := d.objectPath(e.File)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			d.mem.Remove(e.File)
+			return fmt.Errorf("store: write object: %w", err)
+		}
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			d.mem.Remove(e.File)
+			return fmt.Errorf("store: write object: %w", err)
+		}
+	}
+	if err := d.saveMeta(); err != nil {
+		d.mem.Remove(e.File)
+		os.Remove(d.objectPath(e.File))
+		return err
+	}
+	return nil
+}
+
+// Get returns the entry, loading content from disk when present.
+func (d *DiskStore) Get(f id.File) (Entry, bool) {
+	e, ok := d.mem.Get(f)
+	if !ok {
+		return Entry{}, false
+	}
+	if content, err := os.ReadFile(d.objectPath(f)); err == nil {
+		e.Content = content
+	}
+	return e, true
+}
+
+// Remove discards the replica and its content file.
+func (d *DiskStore) Remove(f id.File) (Entry, bool) {
+	e, ok := d.mem.Remove(f)
+	if !ok {
+		return Entry{}, false
+	}
+	os.Remove(d.objectPath(f))
+	if err := d.saveMeta(); err != nil {
+		// The entry is gone either way; a stale snapshot only
+		// over-reports and is corrected at the next mutation.
+		return e, true
+	}
+	return e, true
+}
+
+// SetPointer records and persists a pointer.
+func (d *DiskStore) SetPointer(p Pointer) {
+	d.mem.SetPointer(p)
+	_ = d.saveMeta()
+}
+
+// GetPointer delegates.
+func (d *DiskStore) GetPointer(f id.File) (Pointer, bool) { return d.mem.GetPointer(f) }
+
+// RemovePointer removes and persists.
+func (d *DiskStore) RemovePointer(f id.File) (Pointer, bool) {
+	p, ok := d.mem.RemovePointer(f)
+	if ok {
+		_ = d.saveMeta()
+	}
+	return p, ok
+}
+
+// Entries returns metadata entries (contents stay on disk; use Get).
+func (d *DiskStore) Entries() []Entry { return d.mem.Entries() }
+
+// Pointers delegates.
+func (d *DiskStore) Pointers() []Pointer { return d.mem.Pointers() }

@@ -1,0 +1,149 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"past/internal/id"
+)
+
+func TestDiskAddGetRemove(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("persistent bytes")
+	if err := d.Add(Entry{File: fid(1), Size: int64(len(content)), Kind: Primary, Content: content}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := d.Get(fid(1))
+	if !ok || !bytes.Equal(e.Content, content) {
+		t.Fatalf("get: %v %+v", ok, e)
+	}
+	if d.Used() != int64(len(content)) || d.Free() != 10_000-int64(len(content)) {
+		t.Fatalf("accounting: used=%d free=%d", d.Used(), d.Free())
+	}
+	// The content file exists on disk.
+	if _, err := os.Stat(d.objectPath(fid(1))); err != nil {
+		t.Fatal("content file missing")
+	}
+	if _, ok := d.Remove(fid(1)); !ok {
+		t.Fatal("remove failed")
+	}
+	if _, err := os.Stat(d.objectPath(fid(1))); !os.IsNotExist(err) {
+		t.Fatal("content file survived removal")
+	}
+	if d.Used() != 0 || d.Len() != 0 {
+		t.Fatal("accounting after remove")
+	}
+}
+
+func TestDiskRestartRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("survives restarts")
+	if err := d.Add(Entry{File: fid(1), Size: int64(len(content)), Kind: Primary, Content: content}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(Entry{File: fid(2), Size: 50, Kind: DivertedIn, Owner: id.NodeFromUint64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	d.SetPointer(Pointer{File: fid(3), Target: id.NodeFromUint64(9), Size: 30, Role: DivertedOut})
+
+	// "Restart": reopen the same directory.
+	d2, err := OpenDisk(dir, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 2 || d2.Used() != int64(len(content))+50 {
+		t.Fatalf("restored len=%d used=%d", d2.Len(), d2.Used())
+	}
+	e, ok := d2.Get(fid(1))
+	if !ok || !bytes.Equal(e.Content, content) {
+		t.Fatal("content not restored")
+	}
+	e, ok = d2.Get(fid(2))
+	if !ok || e.Kind != DivertedIn || e.Owner != id.NodeFromUint64(7) {
+		t.Fatalf("diverted-in metadata not restored: %+v", e)
+	}
+	p, ok := d2.GetPointer(fid(3))
+	if !ok || p.Target != id.NodeFromUint64(9) || p.Role != DivertedOut {
+		t.Fatalf("pointer not restored: %+v", p)
+	}
+}
+
+func TestDiskRemovePersists(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := OpenDisk(dir, 1_000)
+	if err := d.Add(Entry{File: fid(1), Size: 10, Content: []byte("0123456789")}); err != nil {
+		t.Fatal(err)
+	}
+	d.Remove(fid(1))
+	d.RemovePointer(fid(99)) // absent: no-op, no snapshot churn needed
+
+	d2, err := OpenDisk(dir, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 0 {
+		t.Fatal("removed entry resurrected after restart")
+	}
+}
+
+func TestDiskCorruptMetadataRejected(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := OpenDisk(dir, 1_000)
+	if err := d.Add(Entry{File: fid(1), Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.gob"), []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(dir, 1_000); err == nil {
+		t.Fatal("corrupt metadata accepted")
+	}
+}
+
+func TestDiskPolicyAndInterface(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := OpenDisk(dir, 1_000)
+	if !d.CanAccept(100, 0.1) || d.CanAccept(101, 0.1) {
+		t.Fatal("disk CanAccept policy wrong")
+	}
+	if d.Capacity() != 1_000 || d.Utilization() != 0 {
+		t.Fatal("accessors")
+	}
+	if err := d.Add(Entry{File: fid(1), Size: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(Entry{File: fid(1), Size: 10}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if len(d.Entries()) != 1 || len(d.Pointers()) != 0 {
+		t.Fatal("listing")
+	}
+}
+
+func TestDiskSizeOnlyEntries(t *testing.T) {
+	// Entries without content (size-only accounting) persist fine and
+	// come back without content.
+	dir := t.TempDir()
+	d, _ := OpenDisk(dir, 1_000)
+	if err := d.Add(Entry{File: fid(1), Size: 123}); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := d2.Get(fid(1))
+	if !ok || e.Size != 123 || e.Content != nil {
+		t.Fatalf("size-only entry: %v %+v", ok, e)
+	}
+}

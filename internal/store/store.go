@@ -1,0 +1,242 @@
+// Package store implements a PAST node's local storage: the file table
+// holding primary replicas, diverted replicas held on behalf of other
+// nodes, and the pointer entries created by replica diversion, together
+// with the free-space accounting that drives the paper's storage
+// acceptance policy.
+//
+// The acceptance policy (section 3.3.1) is based on the metric SD/FN,
+// where SD is the size of file D and FN is the node's remaining free
+// space: a node rejects D if SD/FN > t. Primary replica stores use a
+// threshold tpri, diverted replica stores the stricter tdiv < tpri, so a
+// node keeps room for primary replicas and files are only diverted to
+// nodes with substantially more free space.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"past/internal/cert"
+	"past/internal/id"
+)
+
+// Kind classifies a locally held replica.
+type Kind uint8
+
+// Replica kinds.
+const (
+	// Primary is a replica held by one of the k numerically closest nodes.
+	Primary Kind = iota
+	// DivertedIn is a replica held on behalf of another node (this node
+	// is the B of a replica diversion A -> B).
+	DivertedIn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Primary:
+		return "primary"
+	case DivertedIn:
+		return "diverted-in"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// PtrRole classifies a pointer entry in the file table.
+type PtrRole uint8
+
+// Pointer roles.
+const (
+	// DivertedOut marks the entry node A keeps after diverting a replica
+	// to node B: lookups reaching A follow the pointer to B.
+	DivertedOut PtrRole = iota
+	// Backup marks the entry the k+1-th closest node C keeps so that the
+	// diverted replica on B survives the failure of A (section 3.3).
+	Backup
+)
+
+func (r PtrRole) String() string {
+	switch r {
+	case DivertedOut:
+		return "diverted-out"
+	case Backup:
+		return "backup"
+	default:
+		return fmt.Sprintf("PtrRole(%d)", uint8(r))
+	}
+}
+
+// Entry is one locally held replica.
+type Entry struct {
+	File id.File
+	Size int64
+	Kind Kind
+	// Owner is, for DivertedIn entries, the node that diverted the
+	// replica here (the A of A -> B).
+	Owner id.Node
+	// Content is the replica payload; experiments run with nil content
+	// and pure size accounting.
+	Content []byte
+	// Cert is the file certificate stored alongside the replica, when
+	// certificate verification is enabled.
+	Cert *cert.FileCertificate
+}
+
+// Pointer is a diverted-replica reference in the file table.
+type Pointer struct {
+	File   id.File
+	Target id.Node // the node holding the replica (B)
+	Size   int64
+	Role   PtrRole
+}
+
+// Store is a node's local disk. It is not safe for concurrent use; the
+// owning PAST node serializes access.
+type Store struct {
+	capacity int64
+	used     int64
+	entries  map[id.File]*Entry
+	pointers map[id.File]*Pointer
+}
+
+// New creates a store advertising the given capacity in bytes.
+func New(capacity int64) *Store {
+	if capacity < 0 {
+		panic("store: negative capacity")
+	}
+	return &Store{
+		capacity: capacity,
+		entries:  make(map[id.File]*Entry),
+		pointers: make(map[id.File]*Pointer),
+	}
+}
+
+// Capacity returns the advertised capacity in bytes.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes occupied by replicas (primary + diverted-in).
+// Cached copies live in the remaining free space and are accounted by
+// the cache, not the store.
+func (s *Store) Used() int64 { return s.used }
+
+// Free returns the remaining free space FN.
+func (s *Store) Free() int64 { return s.capacity - s.used }
+
+// Len returns the number of replicas held.
+func (s *Store) Len() int { return len(s.entries) }
+
+// CanAccept applies the paper's acceptance policy: reject file D when
+// SD/FN > t. Zero-sized files are always accepted; a full node rejects
+// everything else.
+func (s *Store) CanAccept(size int64, t float64) bool {
+	if size == 0 {
+		return true
+	}
+	if size < 0 {
+		return false
+	}
+	free := s.Free()
+	if free <= 0 {
+		return false
+	}
+	return float64(size)/float64(free) <= t
+}
+
+// Add stores a replica. It fails if the file is already held or space is
+// insufficient; policy checks (CanAccept) are the caller's duty, since
+// primary and diverted stores use different thresholds.
+func (s *Store) Add(e Entry) error {
+	if _, dup := s.entries[e.File]; dup {
+		return fmt.Errorf("store: %s already held", e.File.Short())
+	}
+	if e.Size < 0 {
+		return fmt.Errorf("store: negative size %d", e.Size)
+	}
+	if e.Size > s.Free() {
+		return fmt.Errorf("store: %s needs %d bytes, only %d free", e.File.Short(), e.Size, s.Free())
+	}
+	cp := e
+	s.entries[e.File] = &cp
+	s.used += e.Size
+	return nil
+}
+
+// Get returns the replica entry for f, if held.
+func (s *Store) Get(f id.File) (Entry, bool) {
+	e, ok := s.entries[f]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Remove discards the replica of f and returns its entry.
+func (s *Store) Remove(f id.File) (Entry, bool) {
+	e, ok := s.entries[f]
+	if !ok {
+		return Entry{}, false
+	}
+	delete(s.entries, f)
+	s.used -= e.Size
+	return *e, true
+}
+
+// SetPointer records a diverted-replica reference. A file has at most
+// one pointer per node; overwriting updates it.
+func (s *Store) SetPointer(p Pointer) {
+	cp := p
+	s.pointers[p.File] = &cp
+}
+
+// GetPointer returns the pointer entry for f, if any.
+func (s *Store) GetPointer(f id.File) (Pointer, bool) {
+	p, ok := s.pointers[f]
+	if !ok {
+		return Pointer{}, false
+	}
+	return *p, true
+}
+
+// RemovePointer deletes the pointer entry for f.
+func (s *Store) RemovePointer(f id.File) (Pointer, bool) {
+	p, ok := s.pointers[f]
+	if !ok {
+		return Pointer{}, false
+	}
+	delete(s.pointers, f)
+	return *p, true
+}
+
+// Entries returns all replica entries ordered by fileId, for
+// deterministic maintenance scans.
+func (s *Store) Entries() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return string(out[i].File[:]) < string(out[j].File[:])
+	})
+	return out
+}
+
+// Pointers returns all pointer entries ordered by fileId.
+func (s *Store) Pointers() []Pointer {
+	out := make([]Pointer, 0, len(s.pointers))
+	for _, p := range s.pointers {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return string(out[i].File[:]) < string(out[j].File[:])
+	})
+	return out
+}
+
+// Utilization returns used/capacity in [0, 1].
+func (s *Store) Utilization() float64 {
+	if s.capacity == 0 {
+		return 0
+	}
+	return float64(s.used) / float64(s.capacity)
+}

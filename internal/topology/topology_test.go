@@ -1,0 +1,109 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Point{math.Mod(math.Abs(ax), 1000), math.Mod(math.Abs(ay), 1000)}
+		b := Point{math.Mod(math.Abs(bx), 1000), math.Mod(math.Abs(by), 1000)}
+		d := Distance(a, b)
+		// Non-negative, symmetric, zero iff equal (within fp exactness here).
+		if d < 0 || Distance(b, a) != d {
+			return false
+		}
+		if a == b && d != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := DefaultPlane
+	for i := 0; i < 1000; i++ {
+		a, b, c := p.RandomPoint(r), p.RandomPoint(r), p.RandomPoint(r)
+		if Distance(a, c) > Distance(a, b)+Distance(b, c)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}
+
+func TestUniformInBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := DefaultPlane.Uniform(r, 500)
+	if len(pts) != 500 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.X < 0 || pt.X > 1000 || pt.Y < 0 || pt.Y > 1000 {
+			t.Fatalf("point %+v out of plane", pt)
+		}
+	}
+}
+
+func TestClustersLocality(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts, member := DefaultPlane.Clusters(r, 400, 8, 20)
+	if len(pts) != 400 || len(member) != 400 {
+		t.Fatal("bad lengths")
+	}
+	// Mean intra-cluster distance must be well below mean inter-cluster
+	// distance: that is the property the caching experiment relies on.
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < len(pts); i += 7 {
+		for j := i + 1; j < len(pts); j += 7 {
+			d := Distance(pts[i], pts[j])
+			if member[i] == member[j] {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	if nIntra == 0 || nInter == 0 {
+		t.Fatal("sampling produced no pairs")
+	}
+	if intra/float64(nIntra) >= inter/float64(nInter)/2 {
+		t.Fatalf("clusters not tight: intra=%g inter=%g",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestClustersRoundRobinBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	_, member := DefaultPlane.Clusters(r, 10, 3, 5)
+	counts := map[int]int{}
+	for _, m := range member {
+		counts[m]++
+	}
+	if counts[0] != 4 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("cluster sizes %v; want 4,3,3", counts)
+	}
+}
+
+func TestClustersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for k=0")
+		}
+	}()
+	DefaultPlane.Clusters(rand.New(rand.NewSource(1)), 10, 0, 5)
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(-5, 0, 10) != 0 || clamp(15, 0, 10) != 10 || clamp(5, 0, 10) != 5 {
+		t.Fatal("clamp wrong")
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `# squid access.log excerpt
+983836801.123    210 10.0.0.1 TCP_MISS/200 5120 GET http://example.com/a.html - DIRECT/1.2.3.4 text/html
+983836802.456     95 10.0.0.2 TCP_HIT/200 1312 GET http://example.com/b.css - NONE/- text/css
+983836803.789    130 10.0.0.1 TCP_MISS/200 5120 GET http://example.com/a.html - DIRECT/1.2.3.4 text/html
+
+983836804.000     80 10.0.0.3 TCP_MISS/200 99 GET http://example.org/c.js - DIRECT/5.6.7.8 application/js
+`
+
+func TestParseSquidLine(t *testing.T) {
+	rec, err := ParseSquidLine("983836801.123 210 10.0.0.1 TCP_MISS/200 5120 GET http://example.com/a.html - DIRECT/1.2.3.4 text/html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Client != "10.0.0.1" || rec.Size != 5120 || rec.URL != "http://example.com/a.html" {
+		t.Fatalf("rec = %+v", rec)
+	}
+	if rec.Timestamp != 983836801.123 {
+		t.Fatalf("ts = %f", rec.Timestamp)
+	}
+}
+
+func TestParseSquidLineErrors(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"too few fields",
+		"notatime 1 c TCP/200 5 GET http://u",
+		"983836801.1 1 c TCP/200 notasize GET http://u",
+		"983836801.1 1 c TCP/200 -5 GET http://u",
+	} {
+		if _, err := ParseSquidLine(line); err == nil {
+			t.Fatalf("line %q parsed", line)
+		}
+	}
+}
+
+func TestReadSquidLog(t *testing.T) {
+	recs, err := ReadSquidLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d; want 4 (comments and blanks skipped)", len(recs))
+	}
+	if _, err := ReadSquidLog(strings.NewReader("garbage line here\n")); err == nil {
+		t.Fatal("garbage log accepted")
+	}
+}
+
+func TestFromSquid(t *testing.T) {
+	recs, err := ReadSquidLog(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := FromSquid(recs, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Files != 3 {
+		t.Fatalf("unique files = %d; want 3", w.Files)
+	}
+	if w.Clients != 3 || w.Sites != 2 {
+		t.Fatalf("clients=%d sites=%d", w.Clients, w.Sites)
+	}
+	if len(w.Events) != 4 {
+		t.Fatalf("events = %d", len(w.Events))
+	}
+	// First reference to a.html inserts; the repeat looks up.
+	if w.Events[0].Op != OpInsert || w.Events[0].Size != 5120 {
+		t.Fatalf("event 0: %+v", w.Events[0])
+	}
+	if w.Events[2].Op != OpLookup || w.Events[2].File != w.Events[0].File {
+		t.Fatalf("event 2: %+v", w.Events[2])
+	}
+	if w.TotalBytes != 5120+1312+99 {
+		t.Fatalf("total bytes = %d", w.TotalBytes)
+	}
+	// Client site assignment round-robins in order of first appearance.
+	if w.SiteOf[0] != 0 || w.SiteOf[1] != 1 || w.SiteOf[2] != 0 {
+		t.Fatalf("sites = %v", w.SiteOf)
+	}
+}
+
+func TestFromSquidTruncationAndOrder(t *testing.T) {
+	recs := []SquidRecord{
+		{Timestamp: 30, Client: "c", Size: 3, URL: "u3"},
+		{Timestamp: 10, Client: "a", Size: 1, URL: "u1"},
+		{Timestamp: 20, Client: "b", Size: 2, URL: "u2"},
+	}
+	w, err := FromSquid(recs, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by timestamp, truncated to 2 entries: u1, u2.
+	if len(w.Events) != 2 || w.Sizes[0] != 1 || w.Sizes[1] != 2 {
+		t.Fatalf("workload = %+v", w)
+	}
+}
+
+func TestFromSquidErrors(t *testing.T) {
+	if _, err := FromSquid(nil, 0, 0); err == nil {
+		t.Fatal("sites=0 accepted")
+	}
+	if _, err := FromSquid(nil, 8, 0); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}

@@ -1,0 +1,365 @@
+// Package transport runs PAST nodes over real TCP sockets. It
+// implements the same netsim.Net interface the in-process emulation
+// provides, so the identical pastry.Node and past.Node code routes,
+// joins, stores, and repairs over the wire.
+//
+// A TCP value is one process's view of the network: a directory of
+// id -> address mappings (seeded from a bootstrap node and spread by
+// announcement), a pool of client connections, and a server that
+// delivers incoming requests to the local endpoint. Node positions on
+// the emulated proximity plane travel with the directory entries; a
+// deployment would substitute measured round-trip times.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"past/internal/id"
+	"past/internal/netsim"
+	"past/internal/topology"
+	"past/internal/wire"
+)
+
+// DialTimeout bounds connection establishment; a node that cannot be
+// dialed is reported down, which is how Pastry detects failures.
+const DialTimeout = 2 * time.Second
+
+// TCP is a transport endpoint: client side (netsim.Net) plus server.
+type TCP struct {
+	self id.Node
+	addr string // listen address, rewritten to the bound address
+
+	mu      sync.Mutex
+	dir     map[id.Node]wire.DirEntry
+	idle    map[id.Node][]*conn
+	serving map[net.Conn]struct{}
+	ep      netsim.Endpoint
+	ln      net.Listener
+	wg      sync.WaitGroup
+	done    chan struct{}
+	once    sync.Once
+}
+
+var _ netsim.Net = (*TCP)(nil)
+
+type conn struct {
+	c     net.Conn
+	codec *wire.Codec
+}
+
+// New creates a transport for the node self, listening on addr (use
+// 127.0.0.1:0 for tests). pos is the node's position on the proximity
+// plane. The endpoint must be set with Serve before traffic arrives.
+func New(self id.Node, addr string, pos topology.Point) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		self:    self,
+		addr:    ln.Addr().String(),
+		dir:     make(map[id.Node]wire.DirEntry),
+		idle:    make(map[id.Node][]*conn),
+		serving: make(map[net.Conn]struct{}),
+		ln:      ln,
+		done:    make(chan struct{}),
+	}
+	t.dir[self] = wire.DirEntry{ID: self, Addr: t.addr, X: pos.X, Y: pos.Y}
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCP) Addr() string { return t.addr }
+
+// Serve installs the local endpoint and starts accepting connections.
+func (t *TCP) Serve(ep netsim.Endpoint) {
+	t.mu.Lock()
+	t.ep = ep
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop()
+}
+
+// Close stops the server and closes pooled connections.
+func (t *TCP) Close() error {
+	t.once.Do(func() { close(t.done) })
+	err := t.ln.Close()
+	t.mu.Lock()
+	for _, cs := range t.idle {
+		for _, c := range cs {
+			c.c.Close()
+		}
+	}
+	t.idle = make(map[id.Node][]*conn)
+	for c := range t.serving {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			return
+		}
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+func (t *TCP) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	t.mu.Lock()
+	t.serving[c] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.serving, c)
+		t.mu.Unlock()
+		c.Close()
+	}()
+	codec := wire.NewCodec(c)
+	for {
+		req, err := codec.ReadRequest()
+		if err != nil {
+			return
+		}
+		resp := t.dispatch(req)
+		if err := codec.WriteResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles directory gossip locally and hands everything else
+// to the node endpoint.
+func (t *TCP) dispatch(req *wire.Request) *wire.Response {
+	switch m := req.Msg.(type) {
+	case *wire.DirEntry:
+		t.AddEntry(*m)
+		return &wire.Response{Msg: &wire.DirReply{Entries: t.Entries()}}
+	case *wire.DirQuery:
+		return &wire.Response{Msg: &wire.DirReply{Entries: t.Entries()}}
+	}
+	t.mu.Lock()
+	ep := t.ep
+	t.mu.Unlock()
+	if ep == nil {
+		return &wire.Response{Err: "transport: no endpoint installed"}
+	}
+	reply, err := ep.Deliver(req.Src, req.Msg)
+	if err != nil {
+		return &wire.Response{Err: err.Error()}
+	}
+	return &wire.Response{Msg: reply}
+}
+
+// AddEntry records (or updates) a directory entry.
+func (t *TCP) AddEntry(e wire.DirEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dir[e.ID] = e
+}
+
+// Entries returns a directory snapshot with this node's entry first
+// (bootstrap peers identify the responder by that position).
+func (t *TCP) Entries() []wire.DirEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]wire.DirEntry, 0, len(t.dir))
+	out = append(out, t.dir[t.self])
+	for nid, e := range t.dir {
+		if nid != t.self {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SelfEntry returns this node's directory entry.
+func (t *TCP) SelfEntry() wire.DirEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dir[t.self]
+}
+
+// Invoke sends msg to dst and returns its reply, implementing
+// netsim.Net. Unknown or unreachable destinations map onto the
+// emulation's sentinel errors so the protocol layers behave
+// identically over sockets.
+func (t *TCP) Invoke(src, dst id.Node, msg any) (any, error) {
+	t.mu.Lock()
+	e, ok := t.dir[dst]
+	t.mu.Unlock()
+	if !ok {
+		return nil, netsim.ErrUnknownNode
+	}
+	if dst == t.self {
+		// Loopback shortcut mirrors the emulation's direct call.
+		t.mu.Lock()
+		ep := t.ep
+		t.mu.Unlock()
+		if ep == nil {
+			return nil, errors.New("transport: no endpoint installed")
+		}
+		return ep.Deliver(src, msg)
+	}
+	resp, err := t.call(dst, e.Addr, &wire.Request{Src: src, Msg: msg})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", netsim.ErrNodeDown, dst.Short(), err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Msg, nil
+}
+
+// InvokeAddr sends msg directly to a known address (used before the
+// destination's nodeId is known, e.g. the first bootstrap contact).
+func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
+	c, err := t.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.c.Close()
+	if err := c.codec.WriteRequest(&wire.Request{Src: t.self, Msg: msg}); err != nil {
+		return nil, err
+	}
+	resp, err := c.codec.ReadResponse()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Msg, nil
+}
+
+// call performs one request/response on a pooled connection; a busy
+// pool dials a fresh connection, so re-entrant RPC chains (A->B->A->B)
+// cannot deadlock.
+func (t *TCP) call(dst id.Node, addr string, req *wire.Request) (*wire.Response, error) {
+	c, err := t.getConn(dst, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.codec.WriteRequest(req); err != nil {
+		c.c.Close()
+		return nil, err
+	}
+	resp, err := c.codec.ReadResponse()
+	if err != nil {
+		c.c.Close()
+		return nil, err
+	}
+	t.putConn(dst, c)
+	return resp, nil
+}
+
+func (t *TCP) getConn(dst id.Node, addr string) (*conn, error) {
+	t.mu.Lock()
+	if cs := t.idle[dst]; len(cs) > 0 {
+		c := cs[len(cs)-1]
+		t.idle[dst] = cs[:len(cs)-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	return t.dial(addr)
+}
+
+func (t *TCP) dial(addr string) (*conn, error) {
+	c, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{c: c, codec: wire.NewCodec(c)}, nil
+}
+
+func (t *TCP) putConn(dst id.Node, c *conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.idle[dst]) >= 2 {
+		c.c.Close()
+		return
+	}
+	t.idle[dst] = append(t.idle[dst], c)
+}
+
+// Alive reports whether dst is reachable right now, by probing the
+// connection path (the keep-alive analogue).
+func (t *TCP) Alive(dst id.Node) bool {
+	if dst == t.self {
+		return true
+	}
+	t.mu.Lock()
+	e, ok := t.dir[dst]
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	c, err := net.DialTimeout("tcp", e.Addr, DialTimeout)
+	if err != nil {
+		return false
+	}
+	c.Close()
+	return true
+}
+
+// Proximity returns the plane distance between two directory entries.
+func (t *TCP) Proximity(a, b id.Node) (float64, bool) {
+	t.mu.Lock()
+	ea, oka := t.dir[a]
+	eb, okb := t.dir[b]
+	t.mu.Unlock()
+	if !oka || !okb {
+		return 0, false
+	}
+	return topology.Distance(topology.Point{X: ea.X, Y: ea.Y}, topology.Point{X: eb.X, Y: eb.Y}), true
+}
+
+// Bootstrap seeds this transport's directory from the node at addr,
+// announces this node to every directory member, and returns the
+// bootstrap node's id (the overlay join target).
+func (t *TCP) Bootstrap(addr string) (id.Node, error) {
+	self := t.SelfEntry()
+	reply, err := t.InvokeAddr(addr, &self)
+	if err != nil {
+		return id.Node{}, fmt.Errorf("transport: bootstrap %s: %w", addr, err)
+	}
+	dr, ok := reply.(*wire.DirReply)
+	if !ok {
+		return id.Node{}, fmt.Errorf("transport: bootstrap %s: unexpected reply %T", addr, reply)
+	}
+	if len(dr.Entries) == 0 {
+		return id.Node{}, fmt.Errorf("transport: bootstrap %s returned an empty directory", addr)
+	}
+	bootID := dr.Entries[0].ID // responder lists itself first
+	for _, e := range dr.Entries {
+		t.AddEntry(e)
+	}
+	// Announce to everyone else so their directories include us before
+	// overlay traffic arrives.
+	for _, e := range dr.Entries {
+		if e.ID == t.self || e.ID == bootID {
+			continue
+		}
+		if _, err := t.InvokeAddr(e.Addr, &self); err != nil {
+			continue // best effort; gossip repairs later
+		}
+	}
+	return bootID, nil
+}

@@ -1,0 +1,383 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"past/internal/cache"
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/pastry"
+	"past/internal/topology"
+	"past/internal/wire"
+)
+
+var registerOnce sync.Once
+
+func register() {
+	registerOnce.Do(func() {
+		wire.RegisterWire()
+		past.RegisterWire()
+	})
+}
+
+// tcpNode is one PAST node served over a loopback TCP socket.
+type tcpNode struct {
+	t    *TCP
+	node *past.Node
+}
+
+func startNode(t *testing.T, rng *rand.Rand, cfg past.Config, capacity int64) *tcpNode {
+	t.Helper()
+	var nid id.Node
+	rng.Read(nid[:])
+	pos := topology.DefaultPlane.RandomPoint(rng)
+	tr, err := New(nid, "127.0.0.1:0", pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := past.New(nid, tr, cfg, capacity, rng.Int63())
+	tr.Serve(n)
+	return &tcpNode{t: tr, node: n}
+}
+
+func buildTCPCluster(t *testing.T, n int, seed int64) []*tcpNode {
+	t.Helper()
+	register()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 8}
+	cfg.K = 3
+
+	nodes := make([]*tcpNode, 0, n)
+	first := startNode(t, rng, cfg, 1<<22)
+	first.node.Overlay().Bootstrap()
+	nodes = append(nodes, first)
+	for i := 1; i < n; i++ {
+		nd := startNode(t, rng, cfg, 1<<22)
+		bootID, err := nd.t.Bootstrap(nodes[0].t.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.node.Overlay().Join(bootID); err != nil {
+			t.Fatalf("join node %d over TCP: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.t.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPInsertLookupReclaim(t *testing.T) {
+	nodes := buildTCPCluster(t, 8, 1)
+	client := nodes[3].node
+	content := []byte("bytes that crossed real sockets")
+
+	res, err := client.Insert(past.InsertSpec{Name: "tcp-file", Content: content})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Stored != 3 {
+		t.Fatalf("insert over TCP: %+v", res)
+	}
+
+	got, err := nodes[6].node.Lookup(res.FileID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || !bytes.Equal(got.Content, content) {
+		t.Fatalf("lookup over TCP: %+v", got)
+	}
+
+	rr, err := nodes[1].node.Reclaim(res.FileID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Found {
+		t.Fatal("reclaim over TCP found nothing")
+	}
+}
+
+func TestTCPClientRPC(t *testing.T) {
+	nodes := buildTCPCluster(t, 6, 2)
+	// A pure client (not part of the overlay) drives a node via the
+	// client RPCs, exactly what cmd/pastctl does.
+	addr := nodes[2].t.Addr()
+	var cid id.Node
+	rand.New(rand.NewSource(99)).Read(cid[:])
+	ct, err := New(cid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+
+	reply, err := ct.InvokeAddr(addr, &past.ClientInsert{Name: "rpc-file", Content: []byte("hello rpc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir := reply.(*past.ClientInsertReply)
+	if !ir.OK {
+		t.Fatalf("client insert: %+v", ir)
+	}
+
+	reply, err = ct.InvokeAddr(addr, &past.ClientLookup{File: ir.FileID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := reply.(*past.ClientLookupReply)
+	if !lr.Found || string(lr.Content) != "hello rpc" {
+		t.Fatalf("client lookup: %+v", lr)
+	}
+
+	reply, err = ct.InvokeAddr(addr, &past.ClientReclaim{File: ir.FileID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := reply.(*past.ClientReclaimReply); !rr.Found {
+		t.Fatal("client reclaim found nothing")
+	}
+}
+
+func TestTCPNodeFailureDetected(t *testing.T) {
+	nodes := buildTCPCluster(t, 8, 3)
+	client := nodes[0].node
+	res, err := client.Insert(past.InsertSpec{Name: "survivor", Content: []byte("data")})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %v %+v", err, res)
+	}
+
+	// Kill a node holding a replica (not the client).
+	var victim *tcpNode
+	for _, nd := range nodes[1:] {
+		if nd.node.HasReplica(res.FileID) {
+			victim = nd
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no replica on a non-client node")
+	}
+	victim.t.Close()
+
+	// Keep-alive rounds on the survivors repair leaf sets and re-create
+	// the lost replica.
+	for round := 0; round < 2; round++ {
+		for _, nd := range nodes {
+			if nd == victim {
+				continue
+			}
+			nd.node.Overlay().CheckLeafSet()
+		}
+	}
+
+	got, err := client.Lookup(res.FileID)
+	if err != nil || !got.Found {
+		t.Fatalf("lookup after TCP node failure: %v %+v", err, got)
+	}
+}
+
+func TestTCPUnknownNode(t *testing.T) {
+	register()
+	rng := rand.New(rand.NewSource(4))
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 8}
+	cfg.K = 3
+	nd := startNode(t, rng, cfg, 1<<20)
+	defer nd.t.Close()
+	var ghost id.Node
+	rng.Read(ghost[:])
+	if _, err := nd.t.Invoke(nd.node.ID(), ghost, &pastry.Ping{}); err == nil {
+		t.Fatal("invoke of unknown node must fail")
+	}
+	if nd.t.Alive(ghost) {
+		t.Fatal("ghost node reported alive")
+	}
+	if !nd.t.Alive(nd.node.ID()) {
+		t.Fatal("self must be alive")
+	}
+}
+
+func TestTCPProximityFromDirectory(t *testing.T) {
+	nodes := buildTCPCluster(t, 4, 5)
+	a, b := nodes[0], nodes[1]
+	d, ok := a.t.Proximity(a.node.ID(), b.node.ID())
+	if !ok || d <= 0 {
+		t.Fatalf("proximity = %g, %v", d, ok)
+	}
+	// Symmetric across transports.
+	d2, ok := b.t.Proximity(a.node.ID(), b.node.ID())
+	if !ok || fmt.Sprintf("%.6f", d) != fmt.Sprintf("%.6f", d2) {
+		t.Fatalf("asymmetric proximity: %g vs %g", d, d2)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	nodes := buildTCPCluster(t, 6, 6)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := nodes[i%len(nodes)].node
+			res, err := client.Insert(past.InsertSpec{
+				Name:    fmt.Sprintf("conc-%d", i),
+				Content: []byte(fmt.Sprintf("payload %d", i)),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.OK {
+				errs <- fmt.Errorf("insert %d failed: %s", i, res.Reason)
+				return
+			}
+			got, err := client.Lookup(res.FileID)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !got.Found {
+				errs <- fmt.Errorf("lookup %d not found", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCachePolicyOverTCP(t *testing.T) {
+	register()
+	rng := rand.New(rand.NewSource(7))
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 8}
+	cfg.K = 3
+	cfg.CachePolicy = cache.GDS
+
+	first := startNode(t, rng, cfg, 1<<22)
+	first.node.Overlay().Bootstrap()
+	nodes := []*tcpNode{first}
+	for i := 1; i < 6; i++ {
+		nd := startNode(t, rng, cfg, 1<<22)
+		bootID, err := nd.t.Bootstrap(first.t.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.node.Overlay().Join(bootID); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.t.Close()
+		}
+	}()
+
+	res, err := nodes[0].node.Insert(past.InsertSpec{Name: "hot", Content: []byte("popular content")})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %v %+v", err, res)
+	}
+	far := nodes[5].node
+	if _, err := far.Lookup(res.FileID); err != nil {
+		t.Fatal(err)
+	}
+	second, err := far.Lookup(res.FileID)
+	if err != nil || !second.Found {
+		t.Fatalf("second lookup: %v %+v", err, second)
+	}
+	if second.Hops != 0 {
+		t.Fatalf("second lookup took %d hops; expected cached at access point", second.Hops)
+	}
+}
+
+func TestInvokeAddrDialFailure(t *testing.T) {
+	register()
+	rng := rand.New(rand.NewSource(8))
+	var nid id.Node
+	rng.Read(nid[:])
+	tr, err := New(nid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.InvokeAddr("127.0.0.1:1", &pastry.Ping{}); err == nil {
+		t.Fatal("dial to a closed port must fail")
+	}
+	if _, err := tr.Bootstrap("127.0.0.1:1"); err == nil {
+		t.Fatal("bootstrap via a dead address must fail")
+	}
+}
+
+func TestInvokeBeforeServe(t *testing.T) {
+	register()
+	rng := rand.New(rand.NewSource(9))
+	var a, b id.Node
+	rng.Read(a[:])
+	rng.Read(b[:])
+	ta, err := New(a, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ta.Close()
+	// Self-invoke without an endpoint installed errors cleanly.
+	if _, err := ta.Invoke(a, a, &pastry.Ping{}); err == nil {
+		t.Fatal("self-invoke without endpoint must fail")
+	}
+	// Invoke to an id that is not in the directory.
+	if _, err := ta.Invoke(a, b, &pastry.Ping{}); err == nil {
+		t.Fatal("unknown destination must fail")
+	}
+}
+
+func TestConnectionPoolReuse(t *testing.T) {
+	nodes := buildTCPCluster(t, 3, 10)
+	a, b := nodes[0], nodes[1]
+	// Repeated pings between the same pair must reuse pooled
+	// connections rather than growing without bound.
+	for i := 0; i < 50; i++ {
+		if _, err := a.t.Invoke(a.node.ID(), b.node.ID(), &pastry.Ping{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.t.mu.Lock()
+	pooled := len(a.t.idle[b.node.ID()])
+	a.t.mu.Unlock()
+	if pooled == 0 || pooled > 2 {
+		t.Fatalf("pool size %d; want 1..2", pooled)
+	}
+}
+
+func TestServerRejectsAfterClose(t *testing.T) {
+	register()
+	rng := rand.New(rand.NewSource(11))
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 8}
+	cfg.K = 1
+	nd := startNode(t, rng, cfg, 1<<20)
+	addr := nd.t.Addr()
+	nd.node.Overlay().Bootstrap()
+	if err := nd.t.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var cid id.Node
+	rng.Read(cid[:])
+	ct, err := New(cid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	if _, err := ct.InvokeAddr(addr, &pastry.Ping{}); err == nil {
+		t.Fatal("closed server still answering")
+	}
+}

@@ -1,0 +1,97 @@
+// Package wire defines the request/response envelope and codec the TCP
+// transport exchanges. Payloads are encoded with encoding/gob against
+// the message-type registry each protocol package contributes
+// (pastry.RegisterWire, past.RegisterWire).
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"past/internal/id"
+)
+
+// Request is one RPC from Src carrying an opaque protocol message.
+type Request struct {
+	Src id.Node
+	Msg any
+}
+
+// Response answers a Request. A non-empty Err means the remote handler
+// failed; Msg is nil in that case.
+type Response struct {
+	Msg any
+	Err string
+}
+
+// Directory entries are exchanged by the transport's built-in gossip so
+// joining nodes learn id -> address mappings and emulated coordinates.
+
+// DirEntry announces one node's address and position.
+type DirEntry struct {
+	ID   id.Node
+	Addr string
+	X, Y float64
+}
+
+// DirQuery asks a node for its full directory.
+type DirQuery struct{}
+
+// DirReply carries a directory snapshot.
+type DirReply struct {
+	Entries []DirEntry
+}
+
+// RegisterWire registers the envelope-level types.
+func RegisterWire() {
+	gob.Register(&DirEntry{})
+	gob.Register(&DirQuery{})
+	gob.Register(&DirReply{})
+}
+
+// Codec frames gob-encoded requests and responses on a stream. A Codec
+// is not safe for concurrent use; the transport serializes access.
+type Codec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewCodec wraps a connection.
+func NewCodec(rw io.ReadWriter) *Codec {
+	return &Codec{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// WriteRequest sends a request.
+func (c *Codec) WriteRequest(r *Request) error {
+	if err := c.enc.Encode(r); err != nil {
+		return fmt.Errorf("wire: encode request: %w", err)
+	}
+	return nil
+}
+
+// ReadRequest receives a request.
+func (c *Codec) ReadRequest() (*Request, error) {
+	var r Request
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// WriteResponse sends a response.
+func (c *Codec) WriteResponse(r *Response) error {
+	if err := c.enc.Encode(r); err != nil {
+		return fmt.Errorf("wire: encode response: %w", err)
+	}
+	return nil
+}
+
+// ReadResponse receives a response.
+func (c *Codec) ReadResponse() (*Response, error) {
+	var r Response
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("wire: decode response: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/pastry"
+)
+
+var registerOnce sync.Once
+
+func register() {
+	registerOnce.Do(func() {
+		RegisterWire()
+		past.RegisterWire()
+	})
+}
+
+func TestCodecRequestResponseRoundTrip(t *testing.T) {
+	register()
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+
+	src := id.NodeFromUint64(42)
+	req := &Request{Src: src, Msg: &pastry.Ping{}}
+	if err := c.WriteRequest(req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != src {
+		t.Fatalf("src = %v", got.Src)
+	}
+	if _, ok := got.Msg.(*pastry.Ping); !ok {
+		t.Fatalf("msg = %T", got.Msg)
+	}
+
+	if err := c.WriteResponse(&Response{Msg: &pastry.Pong{}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.Msg.(*pastry.Pong); !ok || resp.Err != "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestCodecCarriesRoutedPayloads(t *testing.T) {
+	register()
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+
+	f := id.NewFile("x", nil, 1)
+	rr := &pastry.RouteRequest{
+		Key:     f.Key(),
+		Payload: &past.LookupMsg{File: f},
+		Hops:    2,
+	}
+	if err := c.WriteRequest(&Request{Src: id.NodeFromUint64(1), Msg: rr}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := got.Msg.(*pastry.RouteRequest)
+	if dec.Hops != 2 || dec.Key != f.Key() {
+		t.Fatalf("decoded %+v", dec)
+	}
+	if lm := dec.Payload.(*past.LookupMsg); lm.File != f {
+		t.Fatalf("payload %+v", lm)
+	}
+}
+
+func TestCodecErrorResponse(t *testing.T) {
+	register()
+	var buf bytes.Buffer
+	c := NewCodec(&buf)
+	if err := c.WriteResponse(&Response{Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "boom" || resp.Msg != nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestCodecOverSocketPair(t *testing.T) {
+	register()
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		sc := NewCodec(server)
+		req, err := sc.ReadRequest()
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, ok := req.Msg.(*DirQuery); !ok {
+			done <- err
+			return
+		}
+		done <- sc.WriteResponse(&Response{Msg: &DirReply{
+			Entries: []DirEntry{{ID: id.NodeFromUint64(9), Addr: "a:1", X: 1, Y: 2}},
+		}})
+	}()
+
+	cc := NewCodec(client)
+	if err := cc.WriteRequest(&Request{Src: id.NodeFromUint64(5), Msg: &DirQuery{}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cc.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := resp.Msg.(*DirReply)
+	if len(dr.Entries) != 1 || dr.Entries[0].Addr != "a:1" {
+		t.Fatalf("entries = %+v", dr.Entries)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFromGarbageFails(t *testing.T) {
+	c := NewCodec(bytes.NewBufferString("this is not gob"))
+	if _, err := c.ReadResponse(); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
