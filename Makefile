@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments experiments-full examples vet fmt clean
+.PHONY: all build test test-race race bench experiments experiments-full examples vet fmt clean
 
 all: build test
 
@@ -12,6 +12,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Full race-detector sweep. -short skips the trace-driven experiment
+# runs (minutes each under the race detector); every protocol and
+# concurrency path still executes.
+test-race:
+	$(GO) test -race -short ./...
 
 race:
 	$(GO) test -race ./internal/transport/ ./internal/netsim/ ./internal/pastry/ ./internal/past/

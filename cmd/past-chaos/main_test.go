@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"past/internal/experiments"
+)
+
+func TestRunDefaultSoak(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	code, err := run(null, experiments.SoakConfig{Seed: 1, Nodes: 25, Files: 25, Ticks: 8}, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d; want 0 (invariant violation?)", code)
+	}
+}
+
+func TestRunVerifyMode(t *testing.T) {
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	code, err := run(null, experiments.SoakConfig{Seed: 2, Nodes: 25, Files: 25, Ticks: 8}, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d; want 0", code)
+	}
+}

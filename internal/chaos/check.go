@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"fmt"
+
+	"past/internal/id"
+)
+
+// The invariant checker walks live cluster state and asserts the
+// paper's safety properties (sections 2.3 and 3.5). It is omniscient —
+// it sees through partitions — because the properties it checks are
+// global: a file is durable as long as SOME live node holds a replica,
+// whichever side of a partition that node is on.
+
+// ClusterState is the checker's read-only window onto a cluster.
+// past.Cluster implements it; a TCP harness can provide its own.
+type ClusterState interface {
+	// GlobalClosest returns the k live nodes numerically closest to key
+	// (ground truth, by brute force).
+	GlobalClosest(key id.Node, k int) []id.Node
+	// Alive reports whether a node is up.
+	Alive(nid id.Node) bool
+	// NodeHasReplica reports whether a node holds a replica (primary or
+	// diverted) of f.
+	NodeHasReplica(nid id.Node, f id.File) bool
+	// NodePointer returns the target of a node's diverted-replica
+	// pointer for f, if it has one.
+	NodePointer(nid id.Node, f id.File) (id.Node, bool)
+	// ReplicaHolders returns every live node holding a replica of f.
+	ReplicaHolders(f id.File) []id.Node
+	// PrimaryHolders returns every live node holding a PRIMARY replica
+	// of f (diverted-in copies are their referrer's charge and are
+	// excluded from the stray check).
+	PrimaryHolders(f id.File) []id.Node
+}
+
+// ViolationKind classifies an invariant violation.
+type ViolationKind string
+
+// Violation kinds.
+const (
+	// ViolationLost: no live node holds any replica — the file is
+	// unreachable. The property the paper calls durability.
+	ViolationLost ViolationKind = "lost"
+	// ViolationUnderReplicated: fewer than k of the k closest live
+	// nodes hold a replica or a valid pointer (checked after repair
+	// has had a chance to run).
+	ViolationUnderReplicated ViolationKind = "under-replicated"
+	// ViolationDanglingPointer: one of the k closest nodes points at a
+	// dead node or at a node that no longer holds the replica.
+	ViolationDanglingPointer ViolationKind = "dangling-pointer"
+	// ViolationStray: a node outside the replica set holds a primary
+	// replica nobody references — storage the maintenance protocol
+	// should have migrated or discarded.
+	ViolationStray ViolationKind = "stray-replica"
+)
+
+// Violation is one structured invariant failure: which file, where, and
+// the expected-vs-actual replica accounting at that epoch.
+type Violation struct {
+	Epoch    int
+	Kind     ViolationKind
+	File     id.File
+	Node     id.Node // the offending node (zero for whole-file violations)
+	Expected int
+	Actual   int
+}
+
+// String renders the violation in a stable, fingerprintable form.
+func (v Violation) String() string {
+	return fmt.Sprintf("epoch=%d kind=%s file=%s node=%s expected=%d actual=%d",
+		v.Epoch, v.Kind, v.File.Short(), v.Node.Short(), v.Expected, v.Actual)
+}
+
+// Checker validates the replica invariants over a set of confirmed
+// files.
+type Checker struct {
+	// K is the replication factor the cluster was built with.
+	K int
+	// OnViolation, if set, observes each violation as it is found (the
+	// metrics hook).
+	OnViolation func(Violation)
+}
+
+func (ck *Checker) emit(out []Violation, v Violation) []Violation {
+	if ck.OnViolation != nil {
+		ck.OnViolation(v)
+	}
+	return append(out, v)
+}
+
+// CheckDurability asserts the mid-schedule safety property: every file
+// retains at least one reachable replica. It is the only property that
+// must hold while faults are active; replica counts may legitimately
+// sag below k until repair catches up.
+func (ck *Checker) CheckDurability(s ClusterState, files []id.File, epoch int) []Violation {
+	var out []Violation
+	for _, f := range files {
+		if len(s.ReplicaHolders(f)) == 0 {
+			out = ck.emit(out, Violation{
+				Epoch: epoch, Kind: ViolationLost, File: f, Expected: 1, Actual: 0,
+			})
+		}
+	}
+	return out
+}
+
+// CheckConverged asserts the post-repair invariant: each of the k live
+// nodes closest to a fileId holds a replica or a pointer to a live
+// holder, every pointer resolves, and no unreferenced primary replicas
+// linger outside the replica set.
+func (ck *Checker) CheckConverged(s ClusterState, files []id.File, epoch int) []Violation {
+	var out []Violation
+	for _, f := range files {
+		holders := s.ReplicaHolders(f)
+		if len(holders) == 0 {
+			out = ck.emit(out, Violation{
+				Epoch: epoch, Kind: ViolationLost, File: f, Expected: 1, Actual: 0,
+			})
+			continue
+		}
+		closest := s.GlobalClosest(f.Key(), ck.K)
+		inSet := make(map[id.Node]bool, len(closest))
+		referenced := make(map[id.Node]bool)
+		covered := 0
+		for _, nid := range closest {
+			inSet[nid] = true
+			if s.NodeHasReplica(nid, f) {
+				covered++
+				continue
+			}
+			if tgt, ok := s.NodePointer(nid, f); ok {
+				if s.Alive(tgt) && s.NodeHasReplica(tgt, f) {
+					referenced[tgt] = true
+					covered++
+					continue
+				}
+				out = ck.emit(out, Violation{
+					Epoch: epoch, Kind: ViolationDanglingPointer, File: f, Node: nid,
+					Expected: len(closest), Actual: covered,
+				})
+			}
+		}
+		if covered < len(closest) {
+			out = ck.emit(out, Violation{
+				Epoch: epoch, Kind: ViolationUnderReplicated, File: f,
+				Expected: len(closest), Actual: covered,
+			})
+		}
+		for _, h := range s.PrimaryHolders(f) {
+			if !inSet[h] && !referenced[h] {
+				out = ck.emit(out, Violation{
+					Epoch: epoch, Kind: ViolationStray, File: f, Node: h,
+					Expected: 0, Actual: 1,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"testing"
+
+	"past/internal/id"
+)
+
+// fakeState is a hand-built ClusterState for checker unit tests.
+type fakeState struct {
+	closest  []id.Node
+	alive    map[id.Node]bool
+	replicas map[id.Node]bool // nodes holding a replica of the one file
+	primary  map[id.Node]bool
+	pointers map[id.Node]id.Node
+}
+
+func (s *fakeState) GlobalClosest(key id.Node, k int) []id.Node { return s.closest }
+func (s *fakeState) Alive(nid id.Node) bool                     { return s.alive[nid] }
+func (s *fakeState) NodeHasReplica(nid id.Node, f id.File) bool { return s.replicas[nid] }
+func (s *fakeState) NodePointer(nid id.Node, f id.File) (id.Node, bool) {
+	t, ok := s.pointers[nid]
+	return t, ok
+}
+func (s *fakeState) ReplicaHolders(f id.File) []id.Node {
+	var out []id.Node
+	for n, has := range s.replicas {
+		if has && s.alive[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+func (s *fakeState) PrimaryHolders(f id.File) []id.Node {
+	var out []id.Node
+	for n, p := range s.primary {
+		if p && s.alive[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func nodeN(v uint64) id.Node { return id.NodeFromUint64(v) }
+
+func healthyState() *fakeState {
+	n1, n2, n3 := nodeN(1), nodeN(2), nodeN(3)
+	return &fakeState{
+		closest:  []id.Node{n1, n2, n3},
+		alive:    map[id.Node]bool{n1: true, n2: true, n3: true},
+		replicas: map[id.Node]bool{n1: true, n2: true, n3: true},
+		primary:  map[id.Node]bool{n1: true, n2: true, n3: true},
+		pointers: map[id.Node]id.Node{},
+	}
+}
+
+func oneFile() []id.File { return []id.File{id.NewFile("f", nil, 1)} }
+
+func TestCheckerHealthy(t *testing.T) {
+	ck := &Checker{K: 3}
+	s := healthyState()
+	if v := ck.CheckDurability(s, oneFile(), 1); len(v) != 0 {
+		t.Fatalf("healthy durability: %v", v)
+	}
+	if v := ck.CheckConverged(s, oneFile(), 1); len(v) != 0 {
+		t.Fatalf("healthy convergence: %v", v)
+	}
+}
+
+func TestCheckerPointerCoverage(t *testing.T) {
+	// n3 covers its slot with a pointer to a live out-of-set holder n4:
+	// the paper's diverted replica, fully legal.
+	ck := &Checker{K: 3}
+	s := healthyState()
+	n3, n4 := nodeN(3), nodeN(4)
+	s.replicas[n3] = false
+	s.primary[n3] = false
+	s.alive[n4] = true
+	s.replicas[n4] = true
+	s.primary[n4] = false // diverted-in at n4
+	s.pointers[n3] = n4
+	if v := ck.CheckConverged(s, oneFile(), 1); len(v) != 0 {
+		t.Fatalf("pointer coverage must satisfy the invariant: %v", v)
+	}
+}
+
+func TestCheckerLost(t *testing.T) {
+	ck := &Checker{K: 3}
+	s := healthyState()
+	for n := range s.alive {
+		s.alive[n] = false
+	}
+	var seen []Violation
+	ck.OnViolation = func(v Violation) { seen = append(seen, v) }
+	v := ck.CheckDurability(s, oneFile(), 7)
+	if len(v) != 1 || v[0].Kind != ViolationLost || v[0].Epoch != 7 || v[0].Actual != 0 {
+		t.Fatalf("violations = %v", v)
+	}
+	if len(seen) != 1 {
+		t.Fatal("OnViolation hook did not fire")
+	}
+	if v[0].String() == "" {
+		t.Fatal("violation must render")
+	}
+}
+
+func TestCheckerUnderReplicated(t *testing.T) {
+	ck := &Checker{K: 3}
+	s := healthyState()
+	s.replicas[nodeN(3)] = false
+	s.primary[nodeN(3)] = false
+	v := ck.CheckConverged(s, oneFile(), 2)
+	if len(v) != 1 || v[0].Kind != ViolationUnderReplicated {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Expected != 3 || v[0].Actual != 2 {
+		t.Fatalf("accounting = expected %d actual %d", v[0].Expected, v[0].Actual)
+	}
+}
+
+func TestCheckerDanglingPointer(t *testing.T) {
+	ck := &Checker{K: 3}
+	s := healthyState()
+	n3, n4 := nodeN(3), nodeN(4)
+	s.replicas[n3] = false
+	s.primary[n3] = false
+	s.pointers[n3] = n4 // n4 is dead
+	s.alive[n4] = false
+	v := ck.CheckConverged(s, oneFile(), 3)
+	kinds := map[ViolationKind]int{}
+	for _, x := range v {
+		kinds[x.Kind]++
+	}
+	if kinds[ViolationDanglingPointer] != 1 || kinds[ViolationUnderReplicated] != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestCheckerStrayReplica(t *testing.T) {
+	ck := &Checker{K: 3}
+	s := healthyState()
+	n5 := nodeN(5)
+	s.alive[n5] = true
+	s.replicas[n5] = true
+	s.primary[n5] = true // unreferenced primary outside the set
+	v := ck.CheckConverged(s, oneFile(), 4)
+	if len(v) != 1 || v[0].Kind != ViolationStray || v[0].Node != n5 {
+		t.Fatalf("violations = %v", v)
+	}
+	// The same holder referenced by an in-set pointer is NOT stray.
+	n3 := nodeN(3)
+	s.replicas[n3] = false
+	s.primary[n3] = false
+	s.pointers[n3] = n5
+	if v := ck.CheckConverged(s, oneFile(), 5); len(v) != 0 {
+		t.Fatalf("referenced holder flagged: %v", v)
+	}
+}

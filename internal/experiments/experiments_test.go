@@ -29,6 +29,9 @@ func TestTable1Render(t *testing.T) {
 }
 
 func TestBaselineVsDiversionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	base, err := Baseline(ScaleTiny, 42)
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +76,9 @@ func TestBaselineVsDiversionShape(t *testing.T) {
 }
 
 func TestFailuresBiasedTowardLargeFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	std, err := StandardRun(ScaleTiny, WebWorkload, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +107,9 @@ func TestFailuresBiasedTowardLargeFiles(t *testing.T) {
 }
 
 func TestTPriSweepDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	rows, err := RunTable3(ScaleTiny, 11)
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +134,9 @@ func TestTPriSweepDirection(t *testing.T) {
 }
 
 func TestTDivSweepDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	rows, err := RunTable4(ScaleTiny, 12)
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +155,9 @@ func TestTDivSweepDirection(t *testing.T) {
 }
 
 func TestDiversionNegligibleAtLowUtil(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	std, err := StandardRun(ScaleTiny, WebWorkload, 13)
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +183,9 @@ func TestDiversionNegligibleAtLowUtil(t *testing.T) {
 }
 
 func TestFilesystemWorkloadRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	std, err := StandardRun(ScaleTiny, FSWorkload, 14)
 	if err != nil {
 		t.Fatal(err)
@@ -182,6 +200,9 @@ func TestFilesystemWorkloadRun(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	rows, err := RunFig8(ScaleTiny, 15)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,9 @@ package experiments
 import "testing"
 
 func TestFragmentationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	r, err := RunFragmentation(ScaleTiny, 71)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,9 @@ package experiments
 import "testing"
 
 func TestOverheadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full trace-driven run; skipped with -short")
+	}
 	r, err := RunOverhead(ScaleTiny, 81)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"past/internal/cache"
+	"past/internal/chaos"
+	"past/internal/id"
+	"past/internal/metrics"
+	"past/internal/netsim"
+	"past/internal/past"
+	"past/internal/stats"
+)
+
+// The chaos soak is not one of the paper's figures: it validates the
+// property every figure presumes — that the section 3.5 maintenance
+// protocol actually preserves the storage invariant under the failures
+// the paper's design sections argue about (node failure and recovery,
+// lossy and slow links, network partitions). The soak drives a cluster
+// through a seeded fault schedule, runs the maintenance protocol each
+// virtual tick, and asserts the invariants with an omniscient checker.
+
+// SoakConfig parameterizes one fault-injection soak run. Zero values
+// take defaults chosen so the run finishes in test time with zero
+// violations.
+type SoakConfig struct {
+	Nodes int
+	Files int
+
+	B, L, K int
+	Seed    int64
+
+	// Ticks is the length of the fault phase in virtual ticks; one
+	// maintenance round runs per tick.
+	Ticks int
+
+	// Drop and Dup are per-message probabilities on every link; DelayMS
+	// is per-message virtual latency.
+	Drop, Dup float64
+	DelayMS   int
+
+	// Every ChurnEvery ticks, FailPer nodes crash; each recovers and
+	// rejoins DownFor ticks later.
+	ChurnEvery, FailPer, DownFor int
+
+	// A symmetric partition isolates a minority of PartitionFrac of the
+	// nodes for ticks [PartitionFrom, PartitionFrom+PartitionFor).
+	// PartitionFor = 0 disables it (set PartitionFrom < 0 to disable
+	// while keeping the default duration).
+	PartitionFrom, PartitionFor int
+	PartitionFrac               float64
+
+	// HealRounds is the number of maintenance rounds after all faults
+	// lift, before convergence is asserted.
+	HealRounds int
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 30
+	}
+	if c.Files == 0 {
+		c.Files = 40
+	}
+	if c.B == 0 {
+		c.B = 4
+	}
+	if c.L == 0 {
+		c.L = 16
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.Ticks == 0 {
+		c.Ticks = 12
+	}
+	if c.Drop == 0 {
+		c.Drop = 0.05
+	}
+	if c.Dup == 0 {
+		c.Dup = 0.05
+	}
+	if c.DelayMS == 0 {
+		c.DelayMS = 5
+	}
+	if c.ChurnEvery == 0 {
+		c.ChurnEvery = 3
+	}
+	if c.FailPer == 0 {
+		c.FailPer = 1
+	}
+	if c.DownFor == 0 {
+		c.DownFor = 2
+	}
+	if c.PartitionFor == 0 {
+		c.PartitionFor = 3
+	}
+	if c.PartitionFrom == 0 {
+		c.PartitionFrom = 4
+	} else if c.PartitionFrom < 0 {
+		c.PartitionFor = 0
+	}
+	if c.PartitionFrac == 0 {
+		c.PartitionFrac = 0.2
+	}
+	if c.HealRounds == 0 {
+		c.HealRounds = 4
+	}
+	return c
+}
+
+// minoritySize returns the size of the partitioned minority: at least
+// K (so the minority can keep repairing internally), at most a third of
+// the cluster.
+func (c SoakConfig) minoritySize() int {
+	m := int(c.PartitionFrac * float64(c.Nodes))
+	if m < c.K {
+		m = c.K
+	}
+	if max := c.Nodes / 3; m > max {
+		m = max
+	}
+	return m
+}
+
+// BuildSoakSchedule derives the deterministic chaos.Schedule for a soak:
+// background loss/duplication/latency on every link for the whole fault
+// phase, one symmetric partition window isolating the first
+// minoritySize() roster indices, and a churn script failing majority
+// nodes round-robin. Schedule node indices are cluster build order.
+func BuildSoakSchedule(cfg SoakConfig) chaos.Schedule {
+	cfg = cfg.withDefaults()
+	sched := chaos.Schedule{Seed: cfg.Seed}
+	sched.Links = []chaos.LinkRule{{
+		Window:  chaos.Window{From: 0, Until: cfg.Ticks},
+		Drop:    cfg.Drop,
+		Dup:     cfg.Dup,
+		DelayMS: cfg.DelayMS,
+	}}
+	m := cfg.minoritySize()
+	if cfg.PartitionFor > 0 {
+		minority := make([]int, m)
+		majority := make([]int, 0, cfg.Nodes-m)
+		for i := 0; i < cfg.Nodes; i++ {
+			if i < m {
+				minority[i] = i
+			} else {
+				majority = append(majority, i)
+			}
+		}
+		sched.Partitions = []chaos.PartitionRule{{
+			Window:    chaos.Window{From: cfg.PartitionFrom, Until: cfg.PartitionFrom + cfg.PartitionFor},
+			A:         minority,
+			B:         majority,
+			Symmetric: true,
+		}}
+	}
+	// Churn victims come from the majority side only: a minority node
+	// crashing inside the partition window could not rejoin (its whole
+	// last leaf set may be unreachable), which would stall the script.
+	rng := stats.NewRand(cfg.Seed ^ 0x50AC)
+	next := m
+	for t := cfg.ChurnEvery; t < cfg.Ticks; t += cfg.ChurnEvery {
+		ev := chaos.ChurnEvent{At: t}
+		for i := 0; i < cfg.FailPer; i++ {
+			ev.Fail = append(ev.Fail, m+(next-m+rng.Intn(3))%(cfg.Nodes-m))
+			next = m + (next-m+1)%(cfg.Nodes-m)
+		}
+		sched.Churn = append(sched.Churn, ev)
+		rec := chaos.ChurnEvent{At: t + cfg.DownFor, Recover: ev.Fail}
+		sched.Churn = append(sched.Churn, rec)
+	}
+	return sched
+}
+
+// SoakResult reports one soak run.
+type SoakResult struct {
+	Config   SoakConfig
+	Schedule chaos.Schedule
+
+	// Inserted counts the files whose insert was confirmed (only those
+	// are subject to the invariants).
+	Inserted int
+
+	// Fingerprint is the chaos core's run digest; identical config must
+	// produce identical fingerprints.
+	Fingerprint string
+	EventCount  int64
+	Faults      map[string]int64
+	// Events is the retained prefix of the fault log (the fingerprint
+	// covers all EventCount events).
+	Events []chaos.Event
+
+	// Violations is every invariant violation found, in discovery order.
+	Violations []chaos.Violation
+
+	// LookupsOK counts post-heal lookups that found their file (out of
+	// Inserted).
+	LookupsOK int
+
+	Collector *metrics.Collector
+
+	// Cluster is the final cluster, for post-mortem inspection.
+	Cluster *past.Cluster
+}
+
+// OK reports whether the soak completed with zero invariant violations
+// and every post-heal lookup succeeding.
+func (r *SoakResult) OK() bool {
+	return len(r.Violations) == 0 && r.LookupsOK == r.Inserted
+}
+
+// RunSoak builds a cluster over the fault injector, inserts a
+// population of files, executes the fault schedule with one maintenance
+// round per tick, heals, and checks the invariants: durability at every
+// tick, full convergence (replica counts back at k, no dangling
+// pointers, no stray replicas) after the heal rounds.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	cfg = cfg.withDefaults()
+	sched := BuildSoakSchedule(cfg)
+	core := chaos.NewCore(sched)
+
+	// Capacity is generous: the soak isolates fault dynamics from the
+	// storage-pressure dynamics the other experiments cover.
+	capacity := int64(1) << 26
+	col := metrics.NewCollector(int64(cfg.Nodes)*capacity, cfg.Files/10+1)
+	core.OnFault = col.RecordFault
+
+	pcfg := pastConfig(cfg.B, cfg.L, cfg.K, 0.1, 0.05, 4, cache.None, col)
+	cluster, err := past.NewCluster(past.ClusterSpec{
+		N:        cfg.Nodes,
+		Cfg:      pcfg,
+		Capacity: func(int, *rand.Rand) int64 { return capacity },
+		Seed:     cfg.Seed,
+		WrapNet: func(nid id.Node, inner netsim.Net) netsim.Net {
+			return core.Bind(nid, inner)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: soak cluster: %w", err)
+	}
+
+	res := &SoakResult{Config: cfg, Schedule: sched, Collector: col, Cluster: cluster}
+	checker := &chaos.Checker{K: cfg.K, OnViolation: func(v chaos.Violation) {
+		col.RecordViolation(string(v.Kind))
+		res.Violations = append(res.Violations, v)
+	}}
+
+	// Seed the file population on a quiet network (the core is not yet
+	// active), so every tracked file had a confirmed, clean insert.
+	var files []id.File
+	sizeRng := stats.NewRand(cfg.Seed ^ 0xF11E)
+	for i := 0; i < cfg.Files; i++ {
+		client := cluster.RandomAliveNode()
+		ins, err := client.Insert(past.InsertSpec{
+			Name: fmt.Sprintf("soak-%d", i),
+			Size: 512 + int64(sizeRng.Intn(4096)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: soak insert %d: %w", i, err)
+		}
+		if ins.OK {
+			files = append(files, ins.FileID)
+		}
+	}
+	res.Inserted = len(files)
+
+	// Fault phase: churn + maintenance + durability check each tick.
+	core.SetActive(true)
+	lastLeaf := make(map[id.Node][]id.Node)
+	var pendingRejoin []id.Node
+	for t := 0; t < cfg.Ticks; t++ {
+		core.SetTick(t)
+		fail, rec := sched.ChurnAt(t)
+		for _, i := range fail {
+			nid, ok := core.NodeAt(i)
+			if !ok || !cluster.Alive(nid) {
+				continue
+			}
+			lastLeaf[nid] = cluster.ByID[nid].Overlay().LeafSet()
+			cluster.Fail(nid)
+			core.RecordChurn(chaos.FaultFail, nid)
+		}
+		for _, i := range rec {
+			if nid, ok := core.NodeAt(i); ok && !cluster.Alive(nid) {
+				cluster.Recover(nid)
+				core.RecordChurn(chaos.FaultRecover, nid)
+				pendingRejoin = append(pendingRejoin, nid)
+			}
+		}
+		// Rejoins can fail under message loss; retry until they land.
+		pendingRejoin = rejoin(cluster, lastLeaf, pendingRejoin)
+		cluster.MaintainAll()
+		checker.CheckDurability(cluster, files, t)
+	}
+
+	// Heal: advance past every schedule window, recover all nodes still
+	// down, and re-merge the partitioned minority by re-announcing it to
+	// the majority (the administrative step a real partition heal needs,
+	// since keep-alives only probe known members).
+	healTick := cfg.Ticks
+	if e := sched.End(); e > healTick {
+		healTick = e
+	}
+	core.SetTick(healTick)
+	for i := 0; i < core.Len(); i++ {
+		if nid, ok := core.NodeAt(i); ok && !cluster.Alive(nid) {
+			cluster.Recover(nid)
+			core.RecordChurn(chaos.FaultRecover, nid)
+			pendingRejoin = append(pendingRejoin, nid)
+		}
+	}
+	pendingRejoin = rejoin(cluster, lastLeaf, pendingRejoin)
+	if len(pendingRejoin) > 0 {
+		return nil, fmt.Errorf("experiments: soak: %d nodes failed to rejoin on a clean network", len(pendingRejoin))
+	}
+	if cfg.PartitionFor > 0 {
+		m := cfg.minoritySize()
+		roster := cluster.Net.AliveNodes()
+		for i := 0; i < m; i++ {
+			nid, ok := core.NodeAt(i)
+			if !ok || !cluster.Alive(nid) {
+				continue
+			}
+			// Pull state from the full membership: each side of the split
+			// has forgotten the other, so a bridge node alone leaves both
+			// sides' leaf sets incomplete; the resulting wrong replica
+			// sets would strand extra copies.
+			seeds := make([]id.Node, 0, len(roster)-1)
+			for _, x := range roster {
+				if x != nid {
+					seeds = append(seeds, x)
+				}
+			}
+			if err := cluster.ByID[nid].Overlay().Rejoin(seeds); err != nil {
+				return nil, fmt.Errorf("experiments: soak: partition re-merge: %w", err)
+			}
+		}
+	}
+	for r := 0; r < cfg.HealRounds; r++ {
+		core.SetTick(healTick + r)
+		cluster.MaintainAll()
+	}
+
+	// Final invariants: durability plus full convergence.
+	finalEpoch := healTick + cfg.HealRounds
+	checker.CheckDurability(cluster, files, finalEpoch)
+	checker.CheckConverged(cluster, files, finalEpoch)
+
+	// End-to-end sanity: every file must still be retrievable.
+	for _, f := range files {
+		client := cluster.RandomAliveNode()
+		lr, err := client.Lookup(f)
+		col.RecordLookup(col.Utilization(), lr.Hops, err == nil && lr.Found, lr.FromCache)
+		if err == nil && lr.Found {
+			res.LookupsOK++
+		}
+	}
+
+	res.Fingerprint = core.Fingerprint()
+	res.EventCount = core.EventCount()
+	res.Faults = core.Counters()
+	res.Events = core.Events()
+	return res, nil
+}
+
+// rejoin attempts Overlay().Rejoin for every listed node, returning the
+// nodes whose rejoin still failed (to be retried next tick).
+func rejoin(cluster *past.Cluster, lastLeaf map[id.Node][]id.Node, pending []id.Node) []id.Node {
+	var still []id.Node
+	for _, nid := range pending {
+		if err := cluster.ByID[nid].Overlay().Rejoin(lastLeaf[nid]); err != nil {
+			still = append(still, nid)
+		}
+	}
+	return still
+}
+
+// RenderSoak formats a soak result in the repo's table style.
+func RenderSoak(r *SoakResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos soak: %d nodes, k=%d, %d files, %d ticks (seed %d)\n",
+		r.Config.Nodes, r.Config.K, r.Inserted, r.Config.Ticks, r.Config.Seed)
+	fmt.Fprintf(&b, "  faults injected: %d\n", r.EventCount)
+	for _, kv := range chaos.SortedCounters(r.Faults) {
+		fmt.Fprintf(&b, "    %s\n", kv)
+	}
+	fmt.Fprintf(&b, "  post-heal lookups: %d/%d ok\n", r.LookupsOK, r.Inserted)
+	fmt.Fprintf(&b, "  invariant violations: %d\n", len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 20 {
+			fmt.Fprintf(&b, "    ... %d more\n", len(r.Violations)-20)
+			break
+		}
+		fmt.Fprintf(&b, "    %s\n", v)
+	}
+	fmt.Fprintf(&b, "  fingerprint: %s\n", r.Fingerprint)
+	if r.OK() {
+		b.WriteString("  RESULT: PASS\n")
+	} else {
+		b.WriteString("  RESULT: FAIL\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSoakZeroViolations(t *testing.T) {
+	r, err := RunSoak(SoakConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Inserted == 0 {
+		t.Fatal("no files inserted")
+	}
+	if r.EventCount == 0 {
+		t.Fatal("schedule injected no faults")
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("invariant violations:\n%s", RenderSoak(r))
+	}
+	if r.LookupsOK != r.Inserted {
+		t.Fatalf("post-heal lookups: %d/%d ok", r.LookupsOK, r.Inserted)
+	}
+	if !r.OK() {
+		t.Fatal("OK() must be true on a clean run")
+	}
+	// The metrics wiring must have observed the same faults the core
+	// counted.
+	var metered int64
+	for _, v := range r.Collector.Faults() {
+		metered += v
+	}
+	if metered == 0 {
+		t.Fatal("collector saw no faults")
+	}
+	if r.Collector.TotalViolations() != 0 {
+		t.Fatalf("collector violations = %v", r.Collector.Violations())
+	}
+}
+
+func TestSoakReproducible(t *testing.T) {
+	cfg := SoakConfig{Seed: 7, Nodes: 25, Files: 30, Ticks: 9}
+	a, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same config produced different fingerprints:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.EventCount != b.EventCount || a.LookupsOK != b.LookupsOK || a.Inserted != b.Inserted {
+		t.Fatalf("same config produced different outcomes: %+v vs %+v", a, b)
+	}
+	c, err := RunSoak(SoakConfig{Seed: 8, Nodes: 25, Files: 30, Ticks: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different seed produced an identical fingerprint")
+	}
+}
+
+func TestBuildSoakScheduleShape(t *testing.T) {
+	cfg := SoakConfig{Seed: 3}
+	s := BuildSoakSchedule(cfg)
+	if len(s.Links) != 1 || s.Links[0].Drop == 0 {
+		t.Fatalf("links = %+v", s.Links)
+	}
+	if len(s.Partitions) != 1 || !s.Partitions[0].Symmetric {
+		t.Fatalf("partitions = %+v", s.Partitions)
+	}
+	if len(s.Churn) == 0 {
+		t.Fatal("no churn events")
+	}
+	// Every churn victim must be outside the partitioned minority.
+	m := cfg.withDefaults().minoritySize()
+	for _, ev := range s.Churn {
+		for _, i := range ev.Fail {
+			if i < m {
+				t.Fatalf("churn victim %d inside minority (size %d)", i, m)
+			}
+		}
+	}
+	// Schedules are deterministic.
+	s2 := BuildSoakSchedule(cfg)
+	if len(s2.Churn) != len(s.Churn) {
+		t.Fatal("schedule not deterministic")
+	}
+	for i := range s.Churn {
+		if s.Churn[i].At != s2.Churn[i].At {
+			t.Fatal("schedule not deterministic")
+		}
+	}
+}

@@ -57,6 +57,11 @@ type Collector struct {
 	DivertedSeries []DivertedPoint
 	sampleEvery    int
 	sinceSample    int
+
+	// Fault-injection accounting (the chaos soak wires Core.OnFault and
+	// Checker.OnViolation into these).
+	faults     map[string]int64
+	violations map[string]int64
 }
 
 // NewCollector creates a collector for a system with the given total
@@ -117,6 +122,46 @@ func (c *Collector) RecordInsert(util float64, size int64, attempts int, ok bool
 			Util: c.Utilization(), Ratio: c.DivertedRatio(),
 		})
 	}
+}
+
+// RecordFault counts one injected fault of the given kind (message
+// drop, duplication, partition, churn, ...).
+func (c *Collector) RecordFault(kind string) {
+	if c.faults == nil {
+		c.faults = make(map[string]int64)
+	}
+	c.faults[kind]++
+}
+
+// Faults returns a snapshot of per-kind injected-fault counts.
+func (c *Collector) Faults() map[string]int64 { return copyCounts(c.faults) }
+
+// RecordViolation counts one invariant violation of the given kind.
+func (c *Collector) RecordViolation(kind string) {
+	if c.violations == nil {
+		c.violations = make(map[string]int64)
+	}
+	c.violations[kind]++
+}
+
+// Violations returns a snapshot of per-kind invariant-violation counts.
+func (c *Collector) Violations() map[string]int64 { return copyCounts(c.violations) }
+
+// TotalViolations returns the number of invariant violations recorded.
+func (c *Collector) TotalViolations() int64 {
+	var n int64
+	for _, v := range c.violations {
+		n += v
+	}
+	return n
+}
+
+func copyCounts(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // RecordLookup adds a client-side lookup sample.

@@ -142,3 +142,29 @@ func TestGlobalLookupStatsEmpty(t *testing.T) {
 		t.Fatal("empty lookup stats must be zero")
 	}
 }
+
+func TestFaultAndViolationCounters(t *testing.T) {
+	c := NewCollector(1, 1)
+	if len(c.Faults()) != 0 || len(c.Violations()) != 0 || c.TotalViolations() != 0 {
+		t.Fatal("fresh collector must report empty fault/violation counts")
+	}
+	c.RecordFault("drop-request")
+	c.RecordFault("drop-request")
+	c.RecordFault("partition")
+	c.RecordViolation("lost")
+	c.RecordViolation("stray-replica")
+	c.RecordViolation("stray-replica")
+	f := c.Faults()
+	if f["drop-request"] != 2 || f["partition"] != 1 {
+		t.Fatalf("faults = %v", f)
+	}
+	v := c.Violations()
+	if v["lost"] != 1 || v["stray-replica"] != 2 || c.TotalViolations() != 3 {
+		t.Fatalf("violations = %v (total %d)", v, c.TotalViolations())
+	}
+	// Snapshots must not alias internal state.
+	f["drop-request"] = 99
+	if c.Faults()["drop-request"] != 2 {
+		t.Fatal("Faults() must return a copy")
+	}
+}

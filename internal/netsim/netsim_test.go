@@ -169,3 +169,86 @@ func TestMessagesByType(t *testing.T) {
 		t.Fatalf("type counts = %v", counts)
 	}
 }
+
+func TestInvokeAgainstFailedNode(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	eb := &echo{}
+	n.Register(a, topology.Point{}, &echo{})
+	n.Register(b, topology.Point{}, eb)
+	n.Fail(b)
+
+	before := n.Messages()
+	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("invoke to failed node: %v; want ErrNodeDown", err)
+	}
+	if len(eb.seen) != 0 {
+		t.Fatal("failed node must not observe the message")
+	}
+	if n.Messages() != before {
+		t.Fatal("a rejected invoke must not count as a delivered message")
+	}
+	// A failed node can still originate messages: in a real deployment
+	// "failed" means unreachable to peers, not necessarily halted, and
+	// the driver (not the network) decides when a node stops acting.
+	if _, err := n.Invoke(b, a, "x"); err != nil {
+		t.Fatalf("invoke from failed node: %v", err)
+	}
+}
+
+func TestRecoverAfterRemoveIsNoOp(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	n.Register(a, topology.Point{}, &echo{})
+	n.Register(b, topology.Point{}, &echo{})
+	n.Remove(b)
+	n.Recover(b) // must NOT resurrect a removed node
+	if n.Alive(b) {
+		t.Fatal("recover after remove resurrected the node")
+	}
+	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("invoke after remove+recover: %v; want ErrUnknownNode", err)
+	}
+	if got := n.Len(); got != 1 {
+		t.Fatalf("Len() = %d; want 1", got)
+	}
+	// Recover of a never-registered id is equally inert.
+	n.Recover(id.NodeFromUint64(99))
+	if n.Alive(id.NodeFromUint64(99)) {
+		t.Fatal("recover invented an unregistered node")
+	}
+}
+
+func TestDoubleFailAndRecoverIdempotent(t *testing.T) {
+	n := New()
+	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
+	eb := &echo{}
+	n.Register(a, topology.Point{}, &echo{})
+	n.Register(b, topology.Point{}, eb)
+
+	n.Fail(b)
+	n.Fail(b) // second fail must not corrupt state
+	if n.Alive(b) {
+		t.Fatal("node alive after double fail")
+	}
+	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("invoke after double fail: %v", err)
+	}
+	n.Recover(b)
+	if !n.Alive(b) {
+		t.Fatal("node dead after recover")
+	}
+	if _, err := n.Invoke(a, b, "x"); err != nil || len(eb.seen) != 1 {
+		t.Fatalf("invoke after recover: %v (seen %d)", err, len(eb.seen))
+	}
+	n.Recover(b) // recover of a live node is a no-op too
+	if !n.Alive(b) {
+		t.Fatal("recover of a live node killed it")
+	}
+	// Fail after remove must not re-create the entry.
+	n.Remove(b)
+	n.Fail(b)
+	if got := n.Len(); got != 1 {
+		t.Fatalf("Len() = %d after fail-of-removed; want 1", got)
+	}
+}

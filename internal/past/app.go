@@ -56,6 +56,8 @@ func (a *app) Deliver(key id.Node, msg any) (any, error) {
 		return n.coordinateInsert(key, m), nil
 	case *ReclaimMsg:
 		return n.coordinateReclaim(key, m), nil
+	case *replicaSetQuery:
+		return &replicaSetReply{Set: n.overlay.ReplicaSet(key, m.K)}, nil
 	default:
 		return nil, fmt.Errorf("past: node %s: unknown routed payload %T", n.ID().Short(), msg)
 	}
@@ -117,6 +119,8 @@ func (n *Node) Deliver(from id.Node, msg any) (any, error) {
 		return n.handleLocateSpace(m), nil
 	case *convertToDivertedMsg:
 		return n.handleConvertToDiverted(m), nil
+	case *pointerCheckMsg:
+		return n.handlePointerCheck(m), nil
 	case *divertedHolderLeaving:
 		return n.handleDivertedHolderLeaving(m), nil
 	case *ClientInsert, *ClientLookup, *ClientReclaim, *ClientStatus:

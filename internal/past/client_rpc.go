@@ -110,6 +110,10 @@ func RegisterWire() {
 	gob.Register(&locateSpaceMsg{})
 	gob.Register(&locateSpaceReply{})
 	gob.Register(&convertToDivertedMsg{})
+	gob.Register(&pointerCheckMsg{})
+	gob.Register(&pointerCheckReply{})
+	gob.Register(&replicaSetQuery{})
+	gob.Register(&replicaSetReply{})
 	gob.Register(&divertedHolderLeaving{})
 	gob.Register(&ackMsg{})
 	gob.Register(&ClientInsert{})

@@ -7,6 +7,7 @@ import (
 
 	"past/internal/id"
 	"past/internal/netsim"
+	"past/internal/store"
 	"past/internal/topology"
 )
 
@@ -40,6 +41,11 @@ type ClusterSpec struct {
 	// proximity clusters (for the caching experiment); 0 places them
 	// uniformly.
 	ProximityClusters int
+	// WrapNet, if set, wraps the network each node communicates
+	// through — the fault-injection hook (internal/chaos). Nodes are
+	// still registered on the raw Network; only their outgoing view is
+	// wrapped. Called once per node in build order.
+	WrapNet func(nid id.Node, inner netsim.Net) netsim.Net
 }
 
 // NewCluster builds the network by sequential joins, each new node
@@ -70,7 +76,11 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		if _, dup := c.ByID[nid]; dup {
 			return nil, fmt.Errorf("past: nodeId collision while building cluster")
 		}
-		node := New(nid, c.Net, spec.Cfg, spec.Capacity(i, c.rng), c.rng.Int63())
+		var nnet netsim.Net = c.Net
+		if spec.WrapNet != nil {
+			nnet = spec.WrapNet(nid, c.Net)
+		}
+		node := New(nid, nnet, spec.Cfg, spec.Capacity(i, c.rng), c.rng.Int63())
 		c.Net.Register(nid, positions[i], node)
 		if i == 0 {
 			node.Overlay().Bootstrap()
@@ -150,6 +160,69 @@ func (c *Cluster) Maintain() {
 	for _, nid := range c.Net.AliveNodes() {
 		c.ByID[nid].Overlay().CheckLeafSet()
 	}
+}
+
+// MaintainAll runs a keep-alive round and then forces a replica-
+// maintenance (anti-entropy) pass on every live node. The forced pass
+// matters under message loss: the change-triggered maintenance can be
+// starved when its RPCs are dropped, and only a periodic re-scan
+// re-establishes the k-replica invariant.
+func (c *Cluster) MaintainAll() {
+	c.Maintain()
+	for _, nid := range c.Net.AliveNodes() {
+		c.ByID[nid].Maintain()
+	}
+}
+
+// The four methods below, with GlobalClosest, make Cluster a
+// chaos.ClusterState — the window the fault-injection invariant checker
+// reads cluster ground truth through.
+
+// Alive reports whether a node is currently up.
+func (c *Cluster) Alive(nid id.Node) bool { return c.Net.Alive(nid) }
+
+// NodeHasReplica reports whether nid holds a replica of f.
+func (c *Cluster) NodeHasReplica(nid id.Node, f id.File) bool {
+	n, ok := c.ByID[nid]
+	return ok && n.HasReplica(f)
+}
+
+// NodePointer returns the target of nid's diverted-replica pointer for
+// f, if it holds one.
+func (c *Cluster) NodePointer(nid id.Node, f id.File) (id.Node, bool) {
+	n, ok := c.ByID[nid]
+	if !ok {
+		return id.Node{}, false
+	}
+	return n.HasPointer(f)
+}
+
+// ReplicaHolders returns the live nodes holding a replica of f, in
+// ascending nodeId order.
+func (c *Cluster) ReplicaHolders(f id.File) []id.Node {
+	var out []id.Node
+	for _, nid := range c.Net.AliveNodes() {
+		if n, ok := c.ByID[nid]; ok && n.HasReplica(f) {
+			out = append(out, nid)
+		}
+	}
+	return out
+}
+
+// PrimaryHolders returns the live nodes holding a primary replica of f,
+// in ascending nodeId order.
+func (c *Cluster) PrimaryHolders(f id.File) []id.Node {
+	var out []id.Node
+	for _, nid := range c.Net.AliveNodes() {
+		n, ok := c.ByID[nid]
+		if !ok {
+			continue
+		}
+		if kind, has := n.ReplicaKind(f); has && kind == store.Primary {
+			out = append(out, nid)
+		}
+	}
+	return out
 }
 
 // GlobalClosest returns the k live nodes numerically closest to key, by

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"past/internal/id"
+	"past/internal/store"
 )
 
 // LookupResult reports the outcome of a Lookup.
@@ -84,6 +85,15 @@ func (n *Node) HasPointer(f id.File) (id.Node, bool) {
 	defer n.mu.Unlock()
 	p, ok := n.store.GetPointer(f)
 	return p.Target, ok
+}
+
+// ReplicaKind returns the kind (primary vs diverted-in) of this node's
+// replica of f, if it holds one.
+func (n *Node) ReplicaKind(f id.File) (store.Kind, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.store.Get(f)
+	return e.Kind, ok
 }
 
 // CacheContains reports whether f is cached on this node, without

@@ -21,6 +21,13 @@ import (
 // longer responsible for are discarded unless a new member pointed at
 // them.
 
+// Maintain forces one full replica-maintenance pass, independent of
+// leaf-set changes. Drivers call it as a periodic anti-entropy round:
+// under message loss the change-triggered maintenance can be starved
+// (its RPCs dropped, the change long past), and only a periodic re-scan
+// restores the invariant.
+func (n *Node) Maintain() { n.maintainReplicas() }
+
 // maintainReplicas is installed as the overlay's OnLeafSetChange hook.
 // Re-entrant invocations (a maintenance RPC can itself reveal a dead
 // node and mutate the leaf set again) are coalesced into one more pass.
@@ -58,16 +65,42 @@ func (n *Node) maintainOnce() {
 
 	for _, e := range entries {
 		if e.Kind != store.Primary {
-			// Diverted-in replicas are the referring node's charge.
+			// Diverted-in replicas are the referring node's charge — but
+			// an orphaned one (its live owner denies the pointer, e.g.
+			// because the owner re-replicated during a partition and
+			// migrated the file home after it healed) would leak storage
+			// forever. Adopt it as primary so the normal path below can
+			// migrate or discard it. A dead or unreachable owner is never
+			// treated as a denial: it may recover with its pointer intact.
+			if e.Kind == store.DivertedIn && n.net.Alive(e.Owner) {
+				res, err := n.net.Invoke(n.ID(), e.Owner, &pointerCheckMsg{File: e.File, Holder: n.ID()})
+				if err == nil && !res.(*pointerCheckReply).Valid {
+					n.mu.Lock()
+					if cur, ok := n.store.Get(e.File); ok && cur.Kind == store.DivertedIn {
+						n.removeReplicaLocked(e.File)
+						cur.Kind = store.Primary
+						cur.Owner = id.Node{}
+						_ = n.addReplicaLocked(cur)
+						n.maintainPending = true // re-scan with the new role
+					}
+					n.mu.Unlock()
+				}
+			}
 			continue
 		}
 		key := e.File.Key()
 		rs := n.overlay.ReplicaSet(key, k)
-		selfIn := false
-		for _, r := range rs {
-			if r == n.ID() {
-				selfIn = true
-				break
+		selfIn := containsNode(rs, n.ID())
+		if !selfIn {
+			// The local approximation is unreliable when this node's leaf
+			// set does not span the key (a replica stranded far away by a
+			// partition): ask the key's owner for the authoritative set,
+			// or offers would go to wrong nodes and strand more copies.
+			if reply, _, err := n.overlay.Route(key, &replicaSetQuery{K: k}); err == nil {
+				if rq, ok := reply.(*replicaSetReply); ok && len(rq.Set) > 0 {
+					rs = rq.Set
+					selfIn = containsNode(rs, n.ID())
+				}
 			}
 		}
 		covered := 0 // members confirmed to hold a distinct copy
@@ -122,6 +155,16 @@ func (n *Node) maintainOnce() {
 			n.migratePointerHome(p)
 		}
 	}
+}
+
+// containsNode reports whether ids includes nid.
+func containsNode(ids []id.Node, nid id.Node) bool {
+	for _, r := range ids {
+		if r == nid {
+			return true
+		}
+	}
+	return false
 }
 
 // migratePointerHome implements the paper's gradual migration: when
@@ -274,6 +317,15 @@ func (n *Node) handleAcquire(m *acquireMsg) *acquireReply {
 	// No space anywhere reachable: the replica count drops below k until
 	// nodes or disks are added (the caller counts this).
 	return &acquireReply{Status: acquireFailed}
+}
+
+// handlePointerCheck answers a diverted-replica holder's liveness probe:
+// whether this node still points at the holder for the file.
+func (n *Node) handlePointerCheck(m *pointerCheckMsg) *pointerCheckReply {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.store.GetPointer(m.File)
+	return &pointerCheckReply{Valid: ok && p.Target == m.Holder}
 }
 
 // handleLocateSpace searches this node's leaf set (and itself) for a

@@ -205,3 +205,30 @@ type convertToDivertedMsg struct {
 }
 
 type ackMsg struct{}
+
+// pointerCheckMsg asks the supposed owner of a diverted-in replica
+// whether its pointer at Holder still stands. Holders use it to detect
+// orphaned diverted replicas: a live owner that denies the reference
+// frees the holder to adopt (and then migrate or discard) the copy. A
+// dead owner is NOT a denial — it may recover with its pointer intact.
+type pointerCheckMsg struct {
+	File   id.File
+	Holder id.Node
+}
+
+type pointerCheckReply struct {
+	Valid bool
+}
+
+// replicaSetQuery is a routed message answered by the node numerically
+// closest to Key with its view of the replica set. A holder far from
+// the key (its replica stranded by a partition or mass churn) uses it
+// during maintenance: its own leaf set may not span the key, so its
+// local ReplicaSet approximation could nominate wrong nodes.
+type replicaSetQuery struct {
+	K int
+}
+
+type replicaSetReply struct {
+	Set []id.Node
+}

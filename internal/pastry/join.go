@@ -3,6 +3,7 @@ package pastry
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"past/internal/id"
 )
@@ -75,12 +76,9 @@ func (n *Node) Join(bootstrap id.Node) error {
 // they can restore Pastry's invariants.
 func (n *Node) announce() {
 	n.mu.Lock()
-	targets := make(map[id.Node]bool)
-	for _, c := range n.candidatesLocked() {
-		targets[c] = true
-	}
+	targets := dedupSorted(n.candidatesLocked())
 	n.mu.Unlock()
-	for t := range targets {
+	for _, t := range targets {
 		// Best effort: a dead target will be noticed by keep-alives.
 		if _, err := n.net.Invoke(n.self, t, &Announce{NewNode: n.self}); err != nil {
 			n.forget(t)
@@ -88,18 +86,30 @@ func (n *Node) announce() {
 	}
 }
 
+// dedupSorted returns the distinct ids in ascending order, so that
+// best-effort broadcasts contact nodes in a reproducible order.
+func dedupSorted(ids []id.Node) []id.Node {
+	out := append([]id.Node(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	w := 0
+	for _, c := range out {
+		if w == 0 || out[w-1] != c {
+			out[w] = c
+			w++
+		}
+	}
+	return out[:w]
+}
+
 // Announce-Depart: a gracefully leaving node tells everyone it knows,
 // so routes avoid it immediately rather than after keep-alive timeouts.
 // The caller is expected to take the node off the network right after.
 func (n *Node) Depart() {
 	n.mu.Lock()
-	targets := make(map[id.Node]bool)
-	for _, c := range n.candidatesLocked() {
-		targets[c] = true
-	}
+	targets := dedupSorted(n.candidatesLocked())
 	n.joined = false
 	n.mu.Unlock()
-	for t := range targets {
+	for _, t := range targets {
 		_, _ = n.net.Invoke(n.self, t, &Depart{Node: n.self})
 	}
 }

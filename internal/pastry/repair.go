@@ -81,10 +81,13 @@ func (n *Node) CheckLeafSet() (dead []id.Node) {
 			}
 		}
 	}
-	if len(dead) > 0 {
-		if n.repairLeafSet() {
-			changed = true
-		}
+	// Exchange state even when every member answered: the keep-alives of
+	// the real protocol carry leaf-set contents, which is what lets a
+	// node re-discover a live neighbor it wrongly dropped (e.g. after the
+	// neighbor's recovery announcement was lost in transit). Probing
+	// alone can never repair that hole.
+	if n.repairLeafSet() {
+		changed = true
 	}
 	if changed {
 		n.notifyLeafChange()

@@ -250,35 +250,56 @@ func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
 
 // call performs one request/response on a pooled connection; a busy
 // pool dials a fresh connection, so re-entrant RPC chains (A->B->A->B)
-// cannot deadlock.
+// cannot deadlock. A connection that fails mid-exchange (including a
+// half-written response) is closed, never returned to the pool. If the
+// failed connection came FROM the pool it may simply have gone stale
+// while idle (peer restart, half-closed socket), so the request is
+// retried once on a fresh dial before the destination is declared
+// dead — a fresh-dial failure is authoritative.
 func (t *TCP) call(dst id.Node, addr string, req *wire.Request) (*wire.Response, error) {
-	c, err := t.getConn(dst, addr)
+	c, pooled, err := t.getConn(dst, addr)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.codec.WriteRequest(req); err != nil {
-		c.c.Close()
-		return nil, err
-	}
-	resp, err := c.codec.ReadResponse()
+	resp, err := roundTrip(c, req)
 	if err != nil {
 		c.c.Close()
-		return nil, err
+		if !pooled {
+			return nil, err
+		}
+		if c, err = t.dial(addr); err != nil {
+			return nil, err
+		}
+		if resp, err = roundTrip(c, req); err != nil {
+			c.c.Close()
+			return nil, err
+		}
 	}
 	t.putConn(dst, c)
 	return resp, nil
 }
 
-func (t *TCP) getConn(dst id.Node, addr string) (*conn, error) {
+// roundTrip writes one request and reads its response.
+func roundTrip(c *conn, req *wire.Request) (*wire.Response, error) {
+	if err := c.codec.WriteRequest(req); err != nil {
+		return nil, err
+	}
+	return c.codec.ReadResponse()
+}
+
+// getConn returns an idle pooled connection if one exists (pooled =
+// true), else a fresh dial.
+func (t *TCP) getConn(dst id.Node, addr string) (*conn, bool, error) {
 	t.mu.Lock()
 	if cs := t.idle[dst]; len(cs) > 0 {
 		c := cs[len(cs)-1]
 		t.idle[dst] = cs[:len(cs)-1]
 		t.mu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
 	t.mu.Unlock()
-	return t.dial(addr)
+	c, err := t.dial(addr)
+	return c, false, err
 }
 
 func (t *TCP) dial(addr string) (*conn, error) {

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"past/internal/cache"
@@ -379,5 +381,158 @@ func TestServerRejectsAfterClose(t *testing.T) {
 	defer ct.Close()
 	if _, err := ct.InvokeAddr(addr, &pastry.Ping{}); err == nil {
 		t.Fatal("closed server still answering")
+	}
+}
+
+// faultyServer is a raw TCP server whose per-connection behavior is
+// scripted: each accepted connection consumes the next script entry.
+// "echo" answers every request on the connection correctly; "half"
+// reads one request, writes a truncated (half-written) response, and
+// slams the connection shut; "echo-then-half" echoes the first request
+// and half-writes the second (poisoning a connection only after the
+// client has pooled it).
+type faultyServer struct {
+	ln      net.Listener
+	accepts atomic.Int32
+}
+
+func newFaultyServer(t *testing.T, script []string) *faultyServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &faultyServer{ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.accepts.Add(1)
+			mode := "echo"
+			if i < len(script) {
+				mode = script[i]
+			}
+			go func(c net.Conn, mode string) {
+				defer c.Close()
+				codec := wire.NewCodec(c)
+				for n := 0; ; n++ {
+					req, err := codec.ReadRequest()
+					if err != nil {
+						return
+					}
+					if mode == "half" || (mode == "echo-then-half" && n > 0) {
+						// A prefix of a valid gob stream: enough bytes to
+						// look like the start of a response, then EOF.
+						c.Write([]byte{0x1f, 0xff, 0x83})
+						return
+					}
+					if err := codec.WriteResponse(&wire.Response{Msg: req.Msg}); err != nil {
+						return
+					}
+				}
+			}(c, mode)
+		}
+	}()
+	return s
+}
+
+// dialFaulty wires a client transport to the faulty server under a fake
+// node id, bypassing directory gossip.
+func dialFaulty(t *testing.T, s *faultyServer) (*TCP, id.Node) {
+	t.Helper()
+	register()
+	var cid, sid id.Node
+	rng := rand.New(rand.NewSource(99))
+	rng.Read(cid[:])
+	rng.Read(sid[:])
+	ct, err := New(cid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ct.Close() })
+	ct.mu.Lock()
+	ct.dir[sid] = wire.DirEntry{ID: sid, Addr: s.ln.Addr().String()}
+	ct.mu.Unlock()
+	return ct, sid
+}
+
+func TestStalePooledConnRetriesOnFreshDial(t *testing.T) {
+	// Connection 1 succeeds and is pooled, then serves a half-written
+	// response on reuse; the retry's fresh connection behaves.
+	s := newFaultyServer(t, []string{"echo-then-half", "echo"})
+	ct, sid := dialFaulty(t, s)
+
+	// Hand the pool a healthy-looking connection whose server side will
+	// poison the next exchange.
+	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err != nil {
+		t.Fatalf("first invoke: %v", err)
+	}
+	ct.mu.Lock()
+	pooled := len(ct.idle[sid])
+	ct.mu.Unlock()
+	if pooled != 1 {
+		t.Fatalf("pooled %d connections; want 1", pooled)
+	}
+
+	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err != nil {
+		t.Fatalf("invoke over stale pooled conn must retry on a fresh dial: %v", err)
+	}
+	if got := s.accepts.Load(); got != 2 {
+		t.Fatalf("server saw %d connections; want 2 (pooled + one retry)", got)
+	}
+	// The poisoned connection must not have been re-pooled; only the
+	// fresh one may remain.
+	ct.mu.Lock()
+	pooled = len(ct.idle[sid])
+	ct.mu.Unlock()
+	if pooled != 1 {
+		t.Fatalf("pool holds %d connections after retry; want 1", pooled)
+	}
+}
+
+func TestHalfWrittenResponseOnFreshConnFails(t *testing.T) {
+	// A half-written response on a FRESH connection is authoritative:
+	// exactly one attempt, error surfaced, nothing pooled.
+	s := newFaultyServer(t, []string{"half"})
+	ct, sid := dialFaulty(t, s)
+
+	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err == nil {
+		t.Fatal("invoke must fail when the fresh connection dies mid-response")
+	}
+	if got := s.accepts.Load(); got != 1 {
+		t.Fatalf("server saw %d connections; want 1 (no retry for fresh conns)", got)
+	}
+	ct.mu.Lock()
+	pooled := len(ct.idle[sid])
+	ct.mu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("broken connection was pooled (%d)", pooled)
+	}
+}
+
+func TestStaleConnRetryAlsoFailingSurfacesError(t *testing.T) {
+	// Pooled conn goes stale AND the retry's fresh conn half-writes:
+	// the error surfaces after exactly one retry, and neither broken
+	// connection lands back in the pool.
+	s := newFaultyServer(t, []string{"echo-then-half", "half"})
+	ct, sid := dialFaulty(t, s)
+
+	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err != nil {
+		t.Fatalf("first invoke: %v", err)
+	}
+	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err == nil {
+		t.Fatal("invoke must fail when the retry's fresh connection also dies")
+	}
+	if got := s.accepts.Load(); got != 2 {
+		t.Fatalf("server saw %d connections; want 2 (pooled + exactly one retry)", got)
+	}
+	ct.mu.Lock()
+	pooled := len(ct.idle[sid])
+	ct.mu.Unlock()
+	if pooled != 0 {
+		t.Fatalf("broken connection was pooled (%d)", pooled)
 	}
 }
