@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench experiments experiments-full examples vet fmt clean
+.PHONY: all build test test-race race bench experiments experiments-full examples soak-compare vet fmt clean
 
 all: build test
 
@@ -33,6 +33,13 @@ experiments:
 # The paper's scale: 2250 nodes, ~1.8M files. Hours on a small machine.
 experiments-full:
 	$(GO) run ./cmd/past-bench -exp all -scale full | tee results_full.txt
+
+# Paired chaos soaks over one schedule: fail-fast baseline vs the
+# resilience layer, plus the -short test that asserts the layer's
+# strict improvement. Finishes in seconds.
+soak-compare:
+	$(GO) run ./cmd/past-chaos -compare -drop 0.10 -seed 3
+	$(GO) test -short -run 'TestSoakResilience' -v ./internal/experiments/
 
 examples:
 	$(GO) run ./examples/quickstart

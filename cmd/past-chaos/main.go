@@ -10,6 +10,8 @@
 //	past-chaos -seed 7 -ticks 30        # longer run, different timeline
 //	past-chaos -nodes 50 -files 100 -drop 0.1 -part-frac 0.3
 //	past-chaos -seed 7 -verify          # run twice, assert identical fingerprints
+//	past-chaos -resilience              # soak with the client resilience layer on
+//	past-chaos -compare                 # same schedule, layer off vs on, side by side
 //
 // The run is deterministic: the same flags always produce the same
 // fault timeline, the same fingerprint, and the same verdict. Exit
@@ -41,6 +43,8 @@ func main() {
 		partFrac = flag.Float64("part-frac", 0, "fraction of nodes isolated by the partition (default 0.2)")
 		events   = flag.Bool("events", false, "print the retained fault event log")
 		verify   = flag.Bool("verify", false, "run the soak twice and require identical fingerprints")
+		resil    = flag.Bool("resilience", false, "enable the client resilience layer (retries, hedged lookups, partial inserts)")
+		compare  = flag.Bool("compare", false, "run the schedule with the resilience layer off and on and compare")
 	)
 	flag.Parse()
 
@@ -49,6 +53,15 @@ func main() {
 		Drop: *drop, Dup: *dup, DelayMS: *delay,
 		ChurnEvery: *churn, DownFor: *downFor,
 		PartitionFrom: *partFrom, PartitionFor: *partFor, PartitionFrac: *partFrac,
+		Resilience: *resil,
+	}
+	if *compare {
+		code, err := runCompare(os.Stdout, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "past-chaos:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
 	}
 	code, err := run(os.Stdout, cfg, *events, *verify)
 	if err != nil {
@@ -84,6 +97,21 @@ func run(w *os.File, cfg experiments.SoakConfig, events, verify bool) (int, erro
 		fmt.Fprintf(w, "VERIFY: ok — rerun reproduced fingerprint %s\n", r2.Fingerprint)
 	}
 	if !r.OK() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runCompare executes the off/on pair over one schedule and reports
+// them side by side. Exit status is 0 only if both runs held every
+// invariant and the layer did not make fault-phase lookups worse.
+func runCompare(w *os.File, cfg experiments.SoakConfig) (int, error) {
+	c, err := experiments.CompareSoak(cfg)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprint(w, experiments.RenderSoakComparison(c))
+	if !c.Off.OK() || !c.On.OK() || c.On.FaultLookupRate() < c.Off.FaultLookupRate() {
 		return 1, nil
 	}
 	return 0, nil

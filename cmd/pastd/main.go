@@ -47,6 +47,11 @@ func main() {
 		leafSet   = flag.Int("l", 32, "Pastry leaf set size")
 		keepalive = flag.Duration("keepalive", 5*time.Second, "leaf-set keep-alive period")
 		seed      = flag.Int64("seed", 0, "node id seed (0: cryptographically random)")
+
+		retries    = flag.Int("retries", 0, "resilience layer: attempts per client operation, with backoff (0: single attempt, no retry layer)")
+		hedge      = flag.Duration("hedge", 0, "hedged lookups: delay before a second attempt races the first through a different first hop (0: off; needs -retries)")
+		hopTimeout = flag.Duration("hop-timeout", 2*time.Second, "per-hop routing RPC timeout before trying an alternate (0: unbounded)")
+		partial    = flag.Bool("partial-insert", false, "accept inserts that stored at least one but fewer than k replicas; maintenance repairs the shortfall")
 	)
 	flag.Parse()
 
@@ -79,6 +84,18 @@ func main() {
 	cfg := past.DefaultConfig()
 	cfg.K = *k
 	cfg.Pastry.L = *leafSet
+	cfg.Pastry.HopTimeout = *hopTimeout
+	cfg.PartialInsert = *partial
+	if *retries > 0 {
+		cfg.Retry = &past.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   50 * time.Millisecond,
+			Timeout:     5 * time.Second,
+			JitterSeed:  time.Now().UnixNano(),
+			Hedge:       *hedge > 0,
+			HedgeDelay:  *hedge,
+		}
+	}
 	var backend store.Backend
 	if *dataDir != "" {
 		backend, err = store.OpenDisk(*dataDir, capBytes)

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -333,14 +334,17 @@ var _ netsim.Net = (*Net)(nil)
 func (n *Net) Inner() netsim.Net { return n.inner }
 
 // Invoke applies the schedule to one message, then delivers it through
-// the wrapped network. Dropped requests and partitioned links surface
-// as netsim.ErrNodeDown (wrapped), exactly how the protocol layers
-// detect failures; dropped replies deliver the message and then report
-// the same failure to the sender.
-func (n *Net) Invoke(src, dst id.Node, msg any) (any, error) {
+// the wrapped network. A dropped request or reply surfaces as
+// netsim.ErrTimeout (wrapped) — at the sender a lost message IS a
+// timeout, and the retry layers must classify it as transient, not as
+// proof the peer died. A partitioned link surfaces as netsim.ErrNodeDown:
+// from the sender's side of the cut the peer is indistinguishable from a
+// dead one. Dropped replies deliver the message and then report the
+// failure to the sender.
+func (n *Net) Invoke(ctx context.Context, src, dst id.Node, msg any) (any, error) {
 	d, active := n.core.decide(src, dst)
 	if !active {
-		return n.inner.Invoke(src, dst, msg)
+		return n.inner.Invoke(ctx, src, dst, msg)
 	}
 	if d.partitioned {
 		n.core.record(FaultPartition, src, dst, msg)
@@ -351,18 +355,18 @@ func (n *Net) Invoke(src, dst id.Node, msg any) (any, error) {
 	}
 	if d.dropReq {
 		n.core.record(FaultDropRequest, src, dst, msg)
-		return nil, fmt.Errorf("chaos: %s -> %s request dropped: %w", src.Short(), dst.Short(), netsim.ErrNodeDown)
+		return nil, fmt.Errorf("chaos: %s -> %s request dropped: %w", src.Short(), dst.Short(), netsim.ErrTimeout)
 	}
-	reply, err := n.inner.Invoke(src, dst, msg)
+	reply, err := n.inner.Invoke(ctx, src, dst, msg)
 	if d.duplicate {
 		n.core.record(FaultDup, src, dst, msg)
 		// Second delivery; the duplicate's reply (and failure) is
 		// discarded, as a retransmission's would be.
-		_, _ = n.inner.Invoke(src, dst, msg)
+		_, _ = n.inner.Invoke(ctx, src, dst, msg)
 	}
 	if d.dropReply && err == nil {
 		n.core.record(FaultDropReply, src, dst, msg)
-		return nil, fmt.Errorf("chaos: %s -> %s reply dropped: %w", src.Short(), dst.Short(), netsim.ErrNodeDown)
+		return nil, fmt.Errorf("chaos: %s -> %s reply dropped: %w", src.Short(), dst.Short(), netsim.ErrTimeout)
 	}
 	return reply, err
 }

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -44,7 +45,7 @@ func newRig(t *testing.T, n int, sched Schedule) *rig {
 func TestInactivePassThrough(t *testing.T) {
 	r := newRig(t, 2, Schedule{Links: []LinkRule{{Drop: 1}}})
 	r.core.SetActive(false)
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err != nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err != nil {
 		t.Fatalf("inactive core must pass through: %v", err)
 	}
 	if r.core.EventCount() != 0 {
@@ -52,11 +53,14 @@ func TestInactivePassThrough(t *testing.T) {
 	}
 }
 
-func TestDropAllLooksLikeNodeDown(t *testing.T) {
+func TestDropLooksLikeTimeout(t *testing.T) {
 	r := newRig(t, 2, Schedule{Links: []LinkRule{{Drop: 1}}})
-	_, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x")
-	if !errors.Is(err, netsim.ErrNodeDown) {
-		t.Fatalf("dropped message must map to ErrNodeDown, got %v", err)
+	_, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x")
+	if !errors.Is(err, netsim.ErrTimeout) {
+		t.Fatalf("dropped message must map to ErrTimeout, got %v", err)
+	}
+	if !netsim.Retryable(err) {
+		t.Fatalf("a dropped message must classify as retryable, got %v", err)
 	}
 	c := r.core.Counters()
 	if c[FaultDropRequest]+c[FaultDropReply] != 1 {
@@ -67,7 +71,7 @@ func TestDropAllLooksLikeNodeDown(t *testing.T) {
 func TestDropSplitsRequestAndReply(t *testing.T) {
 	r := newRig(t, 2, Schedule{Seed: 7, Links: []LinkRule{{Drop: 1}}})
 	for i := 0; i < 200; i++ {
-		if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err == nil {
+		if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err == nil {
 			t.Fatal("drop=1 must fail every invoke")
 		}
 	}
@@ -83,7 +87,7 @@ func TestDropSplitsRequestAndReply(t *testing.T) {
 
 func TestDuplicationDeliversTwice(t *testing.T) {
 	r := newRig(t, 2, Schedule{Links: []LinkRule{{Dup: 1}}})
-	reply, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x")
+	reply, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x")
 	if err != nil || reply != "x" {
 		t.Fatalf("dup must still return the first reply: %v %v", reply, err)
 	}
@@ -98,15 +102,15 @@ func TestAsymmetricPartition(t *testing.T) {
 	}}}
 	r := newRig(t, 3, sched)
 	// A -> B blocked.
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); !errors.Is(err, netsim.ErrNodeDown) {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); !errors.Is(err, netsim.ErrNodeDown) {
 		t.Fatalf("A->B must be partitioned, got %v", err)
 	}
 	// B -> A open (asymmetric).
-	if _, err := r.views[1].Invoke(r.nodes[1], r.nodes[0], "x"); err != nil {
+	if _, err := r.views[1].Invoke(context.Background(), r.nodes[1], r.nodes[0], "x"); err != nil {
 		t.Fatalf("B->A must pass: %v", err)
 	}
 	// Third parties unaffected.
-	if _, err := r.views[2].Invoke(r.nodes[2], r.nodes[0], "x"); err != nil {
+	if _, err := r.views[2].Invoke(context.Background(), r.nodes[2], r.nodes[0], "x"); err != nil {
 		t.Fatalf("C->A must pass: %v", err)
 	}
 	// Alive answers from the caller's side.
@@ -118,7 +122,7 @@ func TestAsymmetricPartition(t *testing.T) {
 	}
 	// The partition expires with its window.
 	r.core.SetTick(10)
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err != nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err != nil {
 		t.Fatalf("partition must lift at tick 10: %v", err)
 	}
 }
@@ -128,10 +132,10 @@ func TestSymmetricPartition(t *testing.T) {
 		A: []int{0}, B: []int{1}, Symmetric: true,
 	}}}
 	r := newRig(t, 2, sched)
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err == nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err == nil {
 		t.Fatal("A->B must be blocked")
 	}
-	if _, err := r.views[1].Invoke(r.nodes[1], r.nodes[0], "x"); err == nil {
+	if _, err := r.views[1].Invoke(context.Background(), r.nodes[1], r.nodes[0], "x"); err == nil {
 		t.Fatal("B->A must be blocked (symmetric)")
 	}
 }
@@ -142,13 +146,13 @@ func TestDelayAndSlowNodesAccumulateVirtualTime(t *testing.T) {
 		Slow:  []SlowRule{{Nodes: []int{2}, DelayMS: 50}},
 	}
 	r := newRig(t, 3, sched)
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err != nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[2], "x"); err != nil { // to a slow node
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[2], "x"); err != nil { // to a slow node
 		t.Fatal(err)
 	}
-	if _, err := r.views[2].Invoke(r.nodes[2], r.nodes[0], "x"); err != nil { // from a slow node
+	if _, err := r.views[2].Invoke(context.Background(), r.nodes[2], r.nodes[0], "x"); err != nil { // from a slow node
 		t.Fatal(err)
 	}
 	if got := r.core.VirtualDelayMS(); got != 10+50+50 {
@@ -162,15 +166,15 @@ func TestDelayAndSlowNodesAccumulateVirtualTime(t *testing.T) {
 func TestWindowGatesRules(t *testing.T) {
 	sched := Schedule{Links: []LinkRule{{Window: Window{From: 5, Until: 6}, Drop: 1}}}
 	r := newRig(t, 2, sched)
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err != nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err != nil {
 		t.Fatalf("tick 0 is outside the window: %v", err)
 	}
 	r.core.SetTick(5)
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err == nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err == nil {
 		t.Fatal("tick 5 is inside the window")
 	}
 	r.core.SetTick(6)
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err != nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err != nil {
 		t.Fatalf("tick 6 is past the window: %v", err)
 	}
 }
@@ -192,12 +196,12 @@ func TestFaultsCompose(t *testing.T) {
 	if len(fail) != 1 || fail[0] != 3 || len(rec) != 0 {
 		t.Fatalf("ChurnAt(1) = %v %v", fail, rec)
 	}
-	if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[2], "x"); err == nil {
+	if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[2], "x"); err == nil {
 		t.Fatal("partition must block despite other rules")
 	}
 	drops := 0
 	for i := 0; i < 100; i++ {
-		if _, err := r.views[0].Invoke(r.nodes[0], r.nodes[1], "x"); err != nil {
+		if _, err := r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x"); err != nil {
 			drops++
 		}
 	}
@@ -216,7 +220,7 @@ func TestDeterministicFingerprint(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			src, dst := i%3, (i+1)%3
 			r.core.SetTick(i / 50)
-			_, _ = r.views[src].Invoke(r.nodes[src], r.nodes[dst], "probe")
+			_, _ = r.views[src].Invoke(context.Background(), r.nodes[src], r.nodes[dst], "probe")
 		}
 		r.core.RecordChurn(FaultFail, r.nodes[1])
 		r.core.RecordChurn(FaultRecover, r.nodes[1])
@@ -242,7 +246,7 @@ func TestDeterministicFingerprint(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		src, dst := i%3, (i+1)%3
 		r.core.SetTick(i / 50)
-		_, _ = r.views[src].Invoke(r.nodes[src], r.nodes[dst], "probe")
+		_, _ = r.views[src].Invoke(context.Background(), r.nodes[src], r.nodes[dst], "probe")
 	}
 	r.core.RecordChurn(FaultFail, r.nodes[1])
 	r.core.RecordChurn(FaultRecover, r.nodes[1])
@@ -255,7 +259,7 @@ func TestOnFaultHookFires(t *testing.T) {
 	r := newRig(t, 2, Schedule{Links: []LinkRule{{Drop: 1}}})
 	var kinds []string
 	r.core.OnFault = func(kind string) { kinds = append(kinds, kind) }
-	_, _ = r.views[0].Invoke(r.nodes[0], r.nodes[1], "x")
+	_, _ = r.views[0].Invoke(context.Background(), r.nodes[0], r.nodes[1], "x")
 	if len(kinds) != 1 || !strings.HasPrefix(kinds[0], "drop-") {
 		t.Fatalf("hook saw %v", kinds)
 	}
@@ -282,7 +286,7 @@ func TestRosterAndUnboundNodes(t *testing.T) {
 		t.Fatalf("roster length after bind %d", got)
 	}
 	// stranger (index 2) is not matched by the {0}->{1} rule.
-	if _, err := view.Invoke(stranger, r.nodes[1], "x"); err != nil {
+	if _, err := view.Invoke(context.Background(), stranger, r.nodes[1], "x"); err != nil {
 		t.Fatalf("rule must not match unrelated nodes: %v", err)
 	}
 }

@@ -55,6 +55,20 @@ type SoakConfig struct {
 	// HealRounds is the number of maintenance rounds after all faults
 	// lift, before convergence is asserted.
 	HealRounds int
+
+	// Resilience enables the client-side resilience layer on every
+	// node: a deterministic retry policy (budgeted retries, sequential
+	// failover hedging) plus partial inserts. BuildSoakSchedule never
+	// consults it, so the fault timeline is identical with the layer on
+	// and off — the flag changes only how clients cope.
+	Resilience bool
+
+	// FaultOps is the measurement traffic issued every fault-phase
+	// tick: FaultOps lookups of seeded files plus one insert, from
+	// deterministically chosen clients. The success rates quantify how
+	// the cluster degrades while faults are active. Zero selects 8;
+	// negative disables the traffic.
+	FaultOps int
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -107,6 +121,11 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	}
 	if c.HealRounds == 0 {
 		c.HealRounds = 4
+	}
+	if c.FaultOps == 0 {
+		c.FaultOps = 8
+	} else if c.FaultOps < 0 {
+		c.FaultOps = 0
 	}
 	return c
 }
@@ -200,6 +219,13 @@ type SoakResult struct {
 	// Inserted).
 	LookupsOK int
 
+	// Fault-phase measurement traffic: operations issued while the
+	// fault schedule was active. These quantify degradation under
+	// faults; they do not affect OK(), which tracks the invariants and
+	// post-heal retrievability.
+	FaultLookups, FaultLookupsOK int
+	FaultInserts, FaultInsertsOK int
+
 	Collector *metrics.Collector
 
 	// Cluster is the final cluster, for post-mortem inspection.
@@ -210,6 +236,24 @@ type SoakResult struct {
 // and every post-heal lookup succeeding.
 func (r *SoakResult) OK() bool {
 	return len(r.Violations) == 0 && r.LookupsOK == r.Inserted
+}
+
+// FaultLookupRate returns the fraction of fault-phase lookups that
+// succeeded (1 when none were issued).
+func (r *SoakResult) FaultLookupRate() float64 {
+	if r.FaultLookups == 0 {
+		return 1
+	}
+	return float64(r.FaultLookupsOK) / float64(r.FaultLookups)
+}
+
+// FaultInsertRate returns the fraction of fault-phase inserts that
+// succeeded (1 when none were issued).
+func (r *SoakResult) FaultInsertRate() float64 {
+	if r.FaultInserts == 0 {
+		return 1
+	}
+	return float64(r.FaultInsertsOK) / float64(r.FaultInserts)
 }
 
 // RunSoak builds a cluster over the fault injector, inserts a
@@ -229,6 +273,21 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	core.OnFault = col.RecordFault
 
 	pcfg := pastConfig(cfg.B, cfg.L, cfg.K, 0.1, 0.05, 4, cache.None, col)
+	if cfg.Resilience {
+		// BaseDelay 0 (no real sleeps — the emulated network resolves
+		// synchronously) and HedgeDelay 0 (sequential failover hedge)
+		// keep the run fully deterministic.
+		pcfg.Retry = &past.RetryPolicy{
+			MaxAttempts: 3,
+			JitterSeed:  cfg.Seed ^ 0x7E57,
+			Hedge:       true,
+		}
+		pcfg.PartialInsert = true
+	} else {
+		// The layer-off baseline is the pre-resilience system: fail-fast
+		// routing (no per-hop reroute), single attempts, no hedging.
+		pcfg.Pastry.FailFast = true
+	}
 	cluster, err := past.NewCluster(past.ClusterSpec{
 		N:        cfg.Nodes,
 		Cfg:      pcfg,
@@ -267,8 +326,13 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	}
 	res.Inserted = len(files)
 
-	// Fault phase: churn + maintenance + durability check each tick.
+	// Fault phase: churn + maintenance + durability check each tick,
+	// plus the measurement traffic that quantifies degradation. The
+	// traffic RNG is dedicated and its draw sequence depends only on
+	// the schedule-driven alive set, so the resilience-on and -off
+	// variants of one schedule issue identical request streams.
 	core.SetActive(true)
+	opRng := stats.NewRand(cfg.Seed ^ 0x0B5E)
 	lastLeaf := make(map[id.Node][]id.Node)
 	var pendingRejoin []id.Node
 	for t := 0; t < cfg.Ticks; t++ {
@@ -294,6 +358,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		pendingRejoin = rejoin(cluster, lastLeaf, pendingRejoin)
 		cluster.MaintainAll()
 		checker.CheckDurability(cluster, files, t)
+		soakFaultOps(cluster, core, opRng, files, t, res)
 	}
 
 	// Heal: advance past every schedule window, recover all nodes still
@@ -366,6 +431,88 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	return res, nil
 }
 
+// soakFaultOps issues one tick's measurement traffic: cfg.FaultOps
+// lookups of seeded files plus one insert, each from a client drawn off
+// the dedicated traffic RNG. Inserted files are deliberately NOT added
+// to the invariant-checked population: an insert attempted into a
+// faulty network has no clean confirmation, so it is measured (did the
+// client get an acknowledgment?) but not asserted durable.
+func soakFaultOps(cluster *past.Cluster, core *chaos.Core, rng *rand.Rand, files []id.File, tick int, res *SoakResult) {
+	cfg := res.Config
+	if cfg.FaultOps <= 0 || len(files) == 0 {
+		return
+	}
+	for i := 0; i < cfg.FaultOps; i++ {
+		client := soakClient(cluster, core, rng)
+		f := files[rng.Intn(len(files))]
+		if client == nil {
+			continue
+		}
+		res.FaultLookups++
+		if lr, err := client.Lookup(f); err == nil && lr.Found {
+			res.FaultLookupsOK++
+		}
+	}
+	client := soakClient(cluster, core, rng)
+	size := 512 + int64(rng.Intn(4096))
+	if client == nil {
+		return
+	}
+	res.FaultInserts++
+	ins, err := client.Insert(past.InsertSpec{
+		Name: fmt.Sprintf("soak-fault-%d", tick),
+		Size: size,
+	})
+	if err == nil && ins.OK {
+		res.FaultInsertsOK++
+	}
+}
+
+// soakClient picks an alive client node by walking the build roster
+// from a seeded random start. Exactly one RNG draw per call, and the
+// outcome depends only on the (schedule-driven) alive set — never on
+// how earlier operations fared — so paired runs pick the same clients.
+func soakClient(cluster *past.Cluster, core *chaos.Core, rng *rand.Rand) *past.Node {
+	n := core.Len()
+	if n == 0 {
+		return nil
+	}
+	start := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		if nid, ok := core.NodeAt((start + i) % n); ok && cluster.Alive(nid) {
+			return cluster.ByID[nid]
+		}
+	}
+	return nil
+}
+
+// SoakComparison pairs two runs of one fault schedule: resilience
+// layer off and on.
+type SoakComparison struct {
+	Off, On *SoakResult
+}
+
+// CompareSoak runs the identical seeded fault schedule twice — once
+// with the resilience layer off, once on — and returns both results.
+// BuildSoakSchedule does not consult Resilience, so the fault timelines
+// (and the measurement request streams) match; only how the clients
+// cope differs.
+func CompareSoak(cfg SoakConfig) (*SoakComparison, error) {
+	off := cfg
+	off.Resilience = false
+	roff, err := RunSoak(off)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: soak compare (resilience off): %w", err)
+	}
+	on := cfg
+	on.Resilience = true
+	ron, err := RunSoak(on)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: soak compare (resilience on): %w", err)
+	}
+	return &SoakComparison{Off: roff, On: ron}, nil
+}
+
 // rejoin attempts Overlay().Rejoin for every listed node, returning the
 // nodes whose rejoin still failed (to be retried next tick).
 func rejoin(cluster *past.Cluster, lastLeaf map[id.Node][]id.Node, pending []id.Node) []id.Node {
@@ -387,6 +534,16 @@ func RenderSoak(r *SoakResult) string {
 	for _, kv := range chaos.SortedCounters(r.Faults) {
 		fmt.Fprintf(&b, "    %s\n", kv)
 	}
+	if r.FaultLookups > 0 || r.FaultInserts > 0 {
+		fmt.Fprintf(&b, "  fault-phase traffic: lookups %d/%d ok (%.0f%%), inserts %d/%d ok\n",
+			r.FaultLookupsOK, r.FaultLookups, 100*r.FaultLookupRate(),
+			r.FaultInsertsOK, r.FaultInserts)
+	}
+	if r.Config.Resilience {
+		fmt.Fprintf(&b, "  resilience: retries=%d hedges=%d (won %d) reroutes=%d partial-inserts=%d\n",
+			r.Collector.Retries(), r.Collector.Hedges(), r.Collector.HedgeWins(),
+			r.Collector.Reroutes(), r.Collector.PartialInserts())
+	}
 	fmt.Fprintf(&b, "  post-heal lookups: %d/%d ok\n", r.LookupsOK, r.Inserted)
 	fmt.Fprintf(&b, "  invariant violations: %d\n", len(r.Violations))
 	for i, v := range r.Violations {
@@ -402,5 +559,27 @@ func RenderSoak(r *SoakResult) string {
 	} else {
 		b.WriteString("  RESULT: FAIL\n")
 	}
+	return b.String()
+}
+
+// RenderSoakComparison formats the paired off/on runs side by side.
+func RenderSoakComparison(c *SoakComparison) string {
+	var b strings.Builder
+	cfg := c.Off.Config
+	fmt.Fprintf(&b, "Resilience comparison: %d nodes, k=%d, %d files, %d ticks, drop=%.2f (seed %d)\n",
+		cfg.Nodes, cfg.K, cfg.Files, cfg.Ticks, cfg.Drop, cfg.Seed)
+	row := func(name string, r *SoakResult) {
+		fmt.Fprintf(&b, "  %-3s  fault lookups %3d/%3d (%5.1f%%)  fault inserts %2d/%2d  post-heal %d/%d  violations %d\n",
+			name, r.FaultLookupsOK, r.FaultLookups, 100*r.FaultLookupRate(),
+			r.FaultInsertsOK, r.FaultInserts, r.LookupsOK, r.Inserted, len(r.Violations))
+	}
+	row("off", c.Off)
+	row("on", c.On)
+	fmt.Fprintf(&b, "  layer activity (on): retries=%d hedges=%d (won %d) reroutes=%d partial-inserts=%d\n",
+		c.On.Collector.Retries(), c.On.Collector.Hedges(), c.On.Collector.HedgeWins(),
+		c.On.Collector.Reroutes(), c.On.Collector.PartialInserts())
+	delta := c.On.FaultLookupRate() - c.Off.FaultLookupRate()
+	fmt.Fprintf(&b, "  fault-phase lookup success: %.1f%% -> %.1f%% (%+.1f points)\n",
+		100*c.Off.FaultLookupRate(), 100*c.On.FaultLookupRate(), 100*delta)
 	return b.String()
 }

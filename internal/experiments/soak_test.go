@@ -63,6 +63,67 @@ func TestSoakReproducible(t *testing.T) {
 	}
 }
 
+// TestSoakResilienceImproves is the layer's headline validation: under
+// one seeded chaos schedule with ≥10% message drop, fault-phase lookup
+// success with the resilience layer on must strictly exceed the
+// fail-fast baseline, with zero invariant violations either way.
+func TestSoakResilienceImproves(t *testing.T) {
+	c, err := CompareSoak(SoakConfig{Seed: 3, Drop: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Off.OK() {
+		t.Fatalf("baseline run violated invariants:\n%s", RenderSoak(c.Off))
+	}
+	if !c.On.OK() {
+		t.Fatalf("resilience run violated invariants:\n%s", RenderSoak(c.On))
+	}
+	if c.On.FaultLookups != c.Off.FaultLookups || c.On.FaultInserts != c.Off.FaultInserts {
+		t.Fatalf("paired runs issued different request streams: %d/%d lookups, %d/%d inserts",
+			c.Off.FaultLookups, c.On.FaultLookups, c.Off.FaultInserts, c.On.FaultInserts)
+	}
+	if c.On.FaultLookupsOK <= c.Off.FaultLookupsOK {
+		t.Fatalf("resilience layer must strictly improve fault-phase lookups:\n%s", RenderSoakComparison(c))
+	}
+	if c.On.FaultInsertsOK < c.Off.FaultInsertsOK {
+		t.Fatalf("resilience layer made fault-phase inserts worse:\n%s", RenderSoakComparison(c))
+	}
+	// The improvement must come from the layer actually working, and the
+	// baseline must not have used it.
+	if c.On.Collector.Retries()+c.On.Collector.Hedges()+c.On.Collector.Reroutes() == 0 {
+		t.Fatal("resilience run reported no layer activity")
+	}
+	if c.Off.Collector.Retries()+c.Off.Collector.Hedges() != 0 {
+		t.Fatal("baseline run must not retry or hedge")
+	}
+}
+
+// TestSoakResilienceReproducible asserts determinism with the layer on:
+// identical config (sequential failover hedging, zero backoff) must
+// reproduce the fault fingerprint and every traffic counter.
+func TestSoakResilienceReproducible(t *testing.T) {
+	cfg := SoakConfig{Seed: 5, Nodes: 25, Files: 30, Ticks: 9, Drop: 0.10, Resilience: true}
+	a, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("resilience-on runs diverged:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.FaultLookupsOK != b.FaultLookupsOK || a.FaultInsertsOK != b.FaultInsertsOK ||
+		a.EventCount != b.EventCount || a.LookupsOK != b.LookupsOK {
+		t.Fatalf("resilience-on runs produced different outcomes: %+v vs %+v", a, b)
+	}
+	if a.Collector.Retries() != b.Collector.Retries() || a.Collector.Hedges() != b.Collector.Hedges() ||
+		a.Collector.Reroutes() != b.Collector.Reroutes() {
+		t.Fatal("resilience-on runs recorded different layer activity")
+	}
+}
+
 func TestBuildSoakScheduleShape(t *testing.T) {
 	cfg := SoakConfig{Seed: 3}
 	s := BuildSoakSchedule(cfg)

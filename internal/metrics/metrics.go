@@ -7,6 +7,8 @@
 package metrics
 
 import (
+	"sync/atomic"
+
 	"past/internal/id"
 )
 
@@ -62,6 +64,15 @@ type Collector struct {
 	// Checker.OnViolation into these).
 	faults     map[string]int64
 	violations map[string]int64
+
+	// Resilience-layer counters. Atomic, unlike the rest of the
+	// collector: hedged attempts run on their own goroutines, so these
+	// are the only fields touched off the driver thread.
+	retries        atomic.Int64
+	hedges         atomic.Int64
+	hedgeWins      atomic.Int64
+	reroutes       atomic.Int64
+	partialInserts atomic.Int64
 }
 
 // NewCollector creates a collector for a system with the given total
@@ -163,6 +174,44 @@ func copyCounts(m map[string]int64) map[string]int64 {
 	}
 	return out
 }
+
+// RecordRetry implements past.ResilienceMonitor: one backed-off
+// re-attempt of a client operation.
+func (c *Collector) RecordRetry() { c.retries.Add(1) }
+
+// RecordHedge implements past.ResilienceMonitor: one hedged attempt
+// launched; won reports whether the hedge (not the primary) supplied
+// the result.
+func (c *Collector) RecordHedge(won bool) {
+	c.hedges.Add(1)
+	if won {
+		c.hedgeWins.Add(1)
+	}
+}
+
+// RecordReroute implements past.ResilienceMonitor: one next hop
+// presumed failed and routed around.
+func (c *Collector) RecordReroute() { c.reroutes.Add(1) }
+
+// RecordPartialInsert implements past.ResilienceMonitor: one insert
+// that stored at least one but fewer than k replicas, leaving a repair
+// debt for maintenance.
+func (c *Collector) RecordPartialInsert() { c.partialInserts.Add(1) }
+
+// Retries returns the number of client-operation retries recorded.
+func (c *Collector) Retries() int64 { return c.retries.Load() }
+
+// Hedges returns the number of hedged attempts launched.
+func (c *Collector) Hedges() int64 { return c.hedges.Load() }
+
+// HedgeWins returns how many hedged attempts supplied the result.
+func (c *Collector) HedgeWins() int64 { return c.hedgeWins.Load() }
+
+// Reroutes returns the number of per-hop reroutes recorded.
+func (c *Collector) Reroutes() int64 { return c.reroutes.Load() }
+
+// PartialInserts returns the number of partial-success inserts.
+func (c *Collector) PartialInserts() int64 { return c.partialInserts.Load() }
 
 // RecordLookup adds a client-side lookup sample.
 func (c *Collector) RecordLookup(util float64, hops int, found, fromCache bool) {

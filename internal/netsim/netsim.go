@@ -13,6 +13,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -23,13 +24,49 @@ import (
 	"past/internal/topology"
 )
 
-// Errors returned by message delivery.
+// Errors returned by message delivery. These are the error taxonomy the
+// whole stack classifies failures with: every transport (emulated, fault
+// injected, TCP) maps its failures onto these sentinels, so the routing
+// and storage layers can decide uniformly whether an operation is worth
+// retrying.
 var (
 	// ErrUnknownNode reports a destination that was never registered.
 	ErrUnknownNode = errors.New("netsim: unknown node")
 	// ErrNodeDown reports a destination that is currently failed.
 	ErrNodeDown = errors.New("netsim: node down")
+	// ErrTimeout reports a message that got no reply in time: an expired
+	// context deadline, a socket deadline, or an injected message drop
+	// (the fault injector's model of a lost message IS a timeout at the
+	// sender). Unlike ErrNodeDown it carries no claim that the peer is
+	// dead — only that this exchange failed.
+	ErrTimeout = errors.New("netsim: timeout")
 )
+
+// Retryable reports whether err is a transient delivery failure that a
+// different attempt (another hop, another replica, a later retry) could
+// plausibly get past: a down or unknown node, or a timeout. Application
+// errors and context cancellation (the caller gave up) are not
+// retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrNodeDown) ||
+		errors.Is(err, ErrUnknownNode) ||
+		errors.Is(err, ErrTimeout)
+}
+
+// CtxErr maps a context failure onto the delivery-error taxonomy: a
+// deadline that expired is a timeout (retryable by a caller that still
+// has budget); an explicit cancellation is passed through untouched so
+// hedged losers and aborted requests are never retried.
+func CtxErr(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	default:
+		return err
+	}
+}
 
 // Endpoint is the receiving side of a node: it handles one message and
 // returns a reply. Implementations must be safe for concurrent use if
@@ -47,8 +84,10 @@ type Sized interface {
 // Net is the communication interface node code depends on. Both the
 // in-process Network here and the TCP transport implement it.
 type Net interface {
-	// Invoke delivers msg from src to dst and returns dst's reply.
-	Invoke(src, dst id.Node, msg any) (any, error)
+	// Invoke delivers msg from src to dst and returns dst's reply. The
+	// context bounds the exchange: implementations must honor its
+	// deadline (reporting expiry as ErrTimeout) and its cancellation.
+	Invoke(ctx context.Context, src, dst id.Node, msg any) (any, error)
 	// Alive reports whether dst is currently reachable.
 	Alive(dst id.Node) bool
 	// Proximity returns the scalar proximity metric between two nodes,
@@ -123,8 +162,13 @@ func (n *Network) Alive(nid id.Node) bool {
 
 // Invoke delivers msg to dst and returns its reply. Messages to unknown
 // or failed nodes fail with ErrUnknownNode or ErrNodeDown, which is how
-// senders detect failures (the emulated analogue of a timeout).
-func (n *Network) Invoke(src, dst id.Node, msg any) (any, error) {
+// senders detect failures (the emulated analogue of a timeout). An
+// already-expired or cancelled context fails the delivery up front; the
+// emulation's zero-latency calls never expire mid-flight.
+func (n *Network) Invoke(ctx context.Context, src, dst id.Node, msg any) (any, error) {
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	e, ok := n.nodes[dst]
 	n.mu.RUnlock()

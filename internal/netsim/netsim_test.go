@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestInvoke(t *testing.T) {
 	n.Register(a, topology.Point{}, &echo{})
 	n.Register(b, topology.Point{X: 3, Y: 4}, eb)
 
-	reply, err := n.Invoke(a, b, "hello")
+	reply, err := n.Invoke(context.Background(), a, b, "hello")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,12 +44,12 @@ func TestInvokeUnknownAndDown(t *testing.T) {
 	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
 	n.Register(a, topology.Point{}, &echo{})
 
-	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrUnknownNode) {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("err = %v; want ErrUnknownNode", err)
 	}
 	n.Register(b, topology.Point{}, &echo{})
 	n.Fail(b)
-	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("err = %v; want ErrNodeDown", err)
 	}
 	if n.Alive(b) {
@@ -58,7 +59,7 @@ func TestInvokeUnknownAndDown(t *testing.T) {
 	if !n.Alive(b) {
 		t.Fatal("recovered node reported down")
 	}
-	if _, err := n.Invoke(a, b, "x"); err != nil {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -116,10 +117,10 @@ func TestByteAccounting(t *testing.T) {
 	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
 	n.Register(a, topology.Point{}, &echo{})
 	n.Register(b, topology.Point{}, &echo{})
-	if _, err := n.Invoke(a, b, sizedMsg{n: 100}); err != nil {
+	if _, err := n.Invoke(context.Background(), a, b, sizedMsg{n: 100}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Invoke(a, b, "unsized"); err != nil {
+	if _, err := n.Invoke(context.Background(), a, b, "unsized"); err != nil {
 		t.Fatal(err)
 	}
 	if n.Bytes() != 100 {
@@ -142,7 +143,7 @@ func TestReRegisterReplaces(t *testing.T) {
 	n.Register(b, topology.Point{}, first)
 	second := &echo{}
 	n.Register(b, topology.Point{X: 1}, second)
-	if _, err := n.Invoke(a, b, "x"); err != nil {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); err != nil {
 		t.Fatal(err)
 	}
 	if len(first.seen) != 0 || len(second.seen) != 1 {
@@ -155,13 +156,13 @@ func TestMessagesByType(t *testing.T) {
 	a, b := id.NodeFromUint64(1), id.NodeFromUint64(2)
 	n.Register(a, topology.Point{}, &echo{})
 	n.Register(b, topology.Point{}, &echo{})
-	if _, err := n.Invoke(a, b, "str"); err != nil {
+	if _, err := n.Invoke(context.Background(), a, b, "str"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Invoke(a, b, "str2"); err != nil {
+	if _, err := n.Invoke(context.Background(), a, b, "str2"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Invoke(a, b, sizedMsg{n: 1}); err != nil {
+	if _, err := n.Invoke(context.Background(), a, b, sizedMsg{n: 1}); err != nil {
 		t.Fatal(err)
 	}
 	counts := n.MessagesByType()
@@ -179,7 +180,7 @@ func TestInvokeAgainstFailedNode(t *testing.T) {
 	n.Fail(b)
 
 	before := n.Messages()
-	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("invoke to failed node: %v; want ErrNodeDown", err)
 	}
 	if len(eb.seen) != 0 {
@@ -191,7 +192,7 @@ func TestInvokeAgainstFailedNode(t *testing.T) {
 	// A failed node can still originate messages: in a real deployment
 	// "failed" means unreachable to peers, not necessarily halted, and
 	// the driver (not the network) decides when a node stops acting.
-	if _, err := n.Invoke(b, a, "x"); err != nil {
+	if _, err := n.Invoke(context.Background(), b, a, "x"); err != nil {
 		t.Fatalf("invoke from failed node: %v", err)
 	}
 }
@@ -206,7 +207,7 @@ func TestRecoverAfterRemoveIsNoOp(t *testing.T) {
 	if n.Alive(b) {
 		t.Fatal("recover after remove resurrected the node")
 	}
-	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrUnknownNode) {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("invoke after remove+recover: %v; want ErrUnknownNode", err)
 	}
 	if got := n.Len(); got != 1 {
@@ -231,14 +232,14 @@ func TestDoubleFailAndRecoverIdempotent(t *testing.T) {
 	if n.Alive(b) {
 		t.Fatal("node alive after double fail")
 	}
-	if _, err := n.Invoke(a, b, "x"); !errors.Is(err, ErrNodeDown) {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); !errors.Is(err, ErrNodeDown) {
 		t.Fatalf("invoke after double fail: %v", err)
 	}
 	n.Recover(b)
 	if !n.Alive(b) {
 		t.Fatal("node dead after recover")
 	}
-	if _, err := n.Invoke(a, b, "x"); err != nil || len(eb.seen) != 1 {
+	if _, err := n.Invoke(context.Background(), a, b, "x"); err != nil || len(eb.seen) != 1 {
 		t.Fatalf("invoke after recover: %v (seen %d)", err, len(eb.seen))
 	}
 	n.Recover(b) // recover of a live node is a no-op too

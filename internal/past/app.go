@@ -1,6 +1,7 @@
 package past
 
 import (
+	"context"
 	"fmt"
 
 	"past/internal/id"
@@ -149,7 +150,7 @@ func (n *Node) localLookup(f id.File) *LookupReply {
 	p, hasPtr := n.store.GetPointer(f)
 	n.mu.Unlock()
 	if hasPtr {
-		res, err := n.net.Invoke(n.ID(), p.Target, &fetchMsg{File: f})
+		res, err := n.net.Invoke(context.Background(), n.ID(), p.Target, &fetchMsg{File: f})
 		if err == nil {
 			if fr := res.(*fetchReply); fr.Found {
 				return &LookupReply{Found: true, Size: fr.Size, Content: fr.Content,

@@ -1,11 +1,13 @@
 package past
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"past/internal/cert"
 	"past/internal/id"
+	"past/internal/netsim"
 	"past/internal/store"
 )
 
@@ -46,13 +48,19 @@ type InsertResult struct {
 	// Attempts is the number of insert attempts performed (1 + file
 	// diversions). The paper allows at most 4.
 	Attempts int
-	// FileDiversions = Attempts-1 on success; Attempts on failure they
-	// all failed, but by convention we report Attempts-1 re-salts.
+	// FileDiversions is the number of re-salted retries performed:
+	// always Attempts-1, on success and on failure alike (the first
+	// attempt is not a diversion).
 	FileDiversions int
 	// Diverted counts replicas that were stored via replica diversion.
 	Diverted int
 	// Stored counts replicas created.
 	Stored int
+	// Partial reports a degraded success: the insert stored at least
+	// one but fewer than the requested k replicas because part of the
+	// replica set was unreachable (Config.PartialInsert). The shortfall
+	// is a repair debt settled by replica maintenance.
+	Partial bool
 	// Hops is the number of routing hops of the final (successful or
 	// last) attempt.
 	Hops int
@@ -68,6 +76,14 @@ type InsertResult struct {
 // It may be called on any node; this node acts as the client's access
 // point.
 func (n *Node) Insert(spec InsertSpec) (*InsertResult, error) {
+	return n.InsertContext(context.Background(), spec)
+}
+
+// InsertContext is Insert bounded by a context. When Config.Retry is
+// set, each routed attempt runs under the policy's per-attempt deadline
+// and transient routing failures are retried with backoff before the
+// attempt counts as failed.
+func (n *Node) InsertContext(ctx context.Context, spec InsertSpec) (*InsertResult, error) {
 	k := spec.K
 	if k <= 0 {
 		k = n.cfg.K
@@ -105,26 +121,45 @@ func (n *Node) Insert(spec InsertSpec) (*InsertResult, error) {
 		res.FileID = fid
 
 		msg := &InsertMsg{File: fid, Size: size, Content: spec.Content, Cert: fc, K: k}
-		reply, hops, err := n.overlay.Route(fid.Key(), msg)
+		type routed struct {
+			reply any
+			hops  int
+		}
+		out, err := n.retryLoop(ctx, nil, func(actx context.Context) (any, error) {
+			reply, hops, rerr := n.overlay.RouteContext(actx, fid.Key(), msg)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return routed{reply, hops}, nil
+		})
 		if err != nil {
 			return nil, fmt.Errorf("past: insert %q: route: %w", spec.Name, err)
 		}
-		ir, ok := reply.(*InsertReply)
+		ir, ok := out.(routed).reply.(*InsertReply)
 		if !ok {
-			return nil, fmt.Errorf("past: insert %q: unexpected reply %T", spec.Name, reply)
+			return nil, fmt.Errorf("past: insert %q: unexpected reply %T", spec.Name, out.(routed).reply)
 		}
-		res.Hops = hops
+		res.Hops = out.(routed).hops
 		if ir.OK {
 			res.OK = true
 			res.FileDiversions = attempt
 			res.Stored = ir.Stored
 			res.Diverted = ir.Diverted
 			res.Receipts = ir.Receipts
+			res.Partial = ir.Stored < k
+			if res.Partial {
+				n.recordPartialInsert()
+			}
 			if n.cfg.VerifyCerts && n.cfg.NodeKeys != nil {
 				// Confirm the requested number of copies was created:
 				// each receipt must verify against the storing node's
-				// public key (section 2.2).
-				if err := verifyReceipts(ir.Receipts, fid, k, n.cfg.NodeKeys); err != nil {
+				// public key (section 2.2). A partial success vouches
+				// only for the replicas it actually stored.
+				want := k
+				if n.cfg.PartialInsert && ir.Stored < k {
+					want = ir.Stored
+				}
+				if err := verifyReceipts(ir.Receipts, fid, want, n.cfg.NodeKeys); err != nil {
 					return nil, fmt.Errorf("past: insert %q: %w", spec.Name, err)
 				}
 			}
@@ -194,20 +229,28 @@ func (n *Node) coordinateInsert(key id.Node, m *InsertMsg) *InsertReply {
 				n.store.RemovePointer(m.File)
 				n.mu.Unlock()
 			} else {
-				_, _ = n.net.Invoke(n.ID(), s, &discardMsg{File: m.File, Abort: true})
+				_, _ = n.net.Invoke(context.Background(), n.ID(), s, &discardMsg{File: m.File, Abort: true})
 			}
 		}
 		return &InsertReply{Reason: reason}
 	}
 
 	sm := &storeReplicaMsg{File: m.File, Key: key, Size: m.Size, Content: m.Content, Cert: m.Cert, K: m.K}
+	skipped := 0
 	for _, member := range members {
 		var sr *storeReplicaReply
 		if member == n.ID() {
 			sr = n.handleStoreReplica(sm)
 		} else {
-			res, err := n.net.Invoke(n.ID(), member, sm)
+			res, err := n.net.Invoke(context.Background(), n.ID(), member, sm)
 			if err != nil {
+				if n.cfg.PartialInsert && netsim.Retryable(err) {
+					// Degraded mode: skip the unreachable member and
+					// keep going. The missing replica is a repair debt
+					// that maintenance settles once the leaf set heals.
+					skipped++
+					continue
+				}
 				// A replica-set member died mid-insert; the client will
 				// re-salt (and maintenance will have repaired the leaf
 				// set by then).
@@ -232,6 +275,10 @@ func (n *Node) coordinateInsert(key id.Node, m *InsertMsg) *InsertReply {
 		if sr.Receipt != nil {
 			rep.Receipts = append(rep.Receipts, sr.Receipt)
 		}
+	}
+	if skipped > 0 && rep.Stored == 0 {
+		// Nothing was stored anywhere: not even a degraded success.
+		return abort("entire replica set unreachable")
 	}
 	rep.OK = true
 	return rep
@@ -291,7 +338,7 @@ func (n *Node) divertReplica(m *storeReplicaMsg) *storeReplicaReply {
 		if inSet[b] || b == n.ID() {
 			continue
 		}
-		res, err := n.net.Invoke(n.ID(), b, &freeSpaceMsg{})
+		res, err := n.net.Invoke(context.Background(), n.ID(), b, &freeSpaceMsg{})
 		if err != nil {
 			continue
 		}
@@ -313,7 +360,7 @@ func (n *Node) divertReplica(m *storeReplicaMsg) *storeReplicaReply {
 
 	dm := &divertStoreMsg{File: m.File, Size: m.Size, Content: m.Content, Cert: m.Cert, Owner: n.ID()}
 	for _, c := range cands {
-		res, err := n.net.Invoke(n.ID(), c.node, dm)
+		res, err := n.net.Invoke(context.Background(), n.ID(), c.node, dm)
 		if err != nil {
 			continue // dead candidate; try the next
 		}
@@ -350,7 +397,7 @@ func (n *Node) installBackupPointer(m *storeReplicaMsg, b id.Node) {
 	if c == n.ID() || c == b {
 		return
 	}
-	_, _ = n.net.Invoke(n.ID(), c, &installPointerMsg{File: m.File, Target: b, Size: m.Size, Role: store.Backup})
+	_, _ = n.net.Invoke(context.Background(), n.ID(), c, &installPointerMsg{File: m.File, Target: b, Size: m.Size, Role: store.Backup})
 }
 
 // handleDivertStore stores a diverted replica on behalf of Owner, under

@@ -1,6 +1,7 @@
 package past
 
 import (
+	"context"
 	"past/internal/id"
 	"past/internal/store"
 )
@@ -66,7 +67,7 @@ func (n *Node) Leave() *LeaveResult {
 				if r == n.ID() {
 					continue
 				}
-				reply, err := n.net.Invoke(n.ID(), r, &acquireMsg{
+				reply, err := n.net.Invoke(context.Background(), n.ID(), r, &acquireMsg{
 					File: e.File, Key: key, Size: e.Size, K: k,
 					Holder: n.ID(), HolderLeaving: false, // force a real copy
 				})
@@ -90,7 +91,7 @@ func (n *Node) Leave() *LeaveResult {
 			// Tell the referring node to re-home its replica while our
 			// copy is still fetchable.
 			if !e.Owner.IsZero() {
-				if _, err := n.net.Invoke(n.ID(), e.Owner, &divertedHolderLeaving{File: e.File}); err == nil {
+				if _, err := n.net.Invoke(context.Background(), n.ID(), e.Owner, &divertedHolderLeaving{File: e.File}); err == nil {
 					res.OwnersNotified++
 				}
 			}

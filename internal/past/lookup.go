@@ -1,6 +1,7 @@
 package past
 
 import (
+	"context"
 	"fmt"
 
 	"past/internal/id"
@@ -32,7 +33,61 @@ type LookupResult struct {
 // Pastry's locality properties and the k adjacent replicas. Successful
 // lookups leave cached copies of the file on the nodes along the route.
 func (n *Node) Lookup(f id.File) (*LookupResult, error) {
-	reply, hops, err := n.overlay.Route(f.Key(), &LookupMsg{File: f})
+	return n.LookupContext(context.Background(), f)
+}
+
+// LookupContext is Lookup bounded by a context. When Config.Retry is
+// set, the request runs under the resilience layer: per-attempt
+// deadlines, backoff retries on transient routing failures AND on
+// not-found results (a miss under faults may be spurious — the replicas
+// exist but the route was cut short), and hedged attempts through a
+// different first hop when the policy enables them.
+func (n *Node) LookupContext(ctx context.Context, f id.File) (*LookupResult, error) {
+	pol, hasPol := n.policy()
+	attempt := func(actx context.Context) (any, error) {
+		if !hasPol {
+			return n.lookupOnce(actx, f, id.Node{})
+		}
+		out, err := n.hedged(actx, pol, f.Key(),
+			func(rctx context.Context, avoid id.Node) (any, error) {
+				return n.lookupOnce(rctx, f, avoid)
+			},
+			func(res any) bool {
+				lr, ok := res.(*LookupResult)
+				return ok && lr.Found
+			})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	out, err := n.retryLoop(ctx, func(res any) bool {
+		lr, ok := res.(*LookupResult)
+		return !ok || !lr.Found
+	}, attempt)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return &LookupResult{Found: false}, nil
+	}
+	return out.(*LookupResult), nil
+}
+
+// lookupOnce performs a single routed lookup attempt. A non-zero avoid
+// is excluded as the first hop (a hedge steering around the primary's
+// entry point).
+func (n *Node) lookupOnce(ctx context.Context, f id.File, avoid id.Node) (*LookupResult, error) {
+	var (
+		reply any
+		hops  int
+		err   error
+	)
+	if avoid.IsZero() {
+		reply, hops, err = n.overlay.RouteContext(ctx, f.Key(), &LookupMsg{File: f})
+	} else {
+		reply, hops, err = n.overlay.RouteAvoiding(ctx, f.Key(), &LookupMsg{File: f}, avoid)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("past: lookup %s: %w", f.Short(), err)
 	}

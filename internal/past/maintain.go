@@ -1,6 +1,7 @@
 package past
 
 import (
+	"context"
 	"past/internal/cert"
 	"past/internal/id"
 	"past/internal/store"
@@ -73,7 +74,7 @@ func (n *Node) maintainOnce() {
 			// migrate or discard it. A dead or unreachable owner is never
 			// treated as a denial: it may recover with its pointer intact.
 			if e.Kind == store.DivertedIn && n.net.Alive(e.Owner) {
-				res, err := n.net.Invoke(n.ID(), e.Owner, &pointerCheckMsg{File: e.File, Holder: n.ID()})
+				res, err := n.net.Invoke(context.Background(), n.ID(), e.Owner, &pointerCheckMsg{File: e.File, Holder: n.ID()})
 				if err == nil && !res.(*pointerCheckReply).Valid {
 					n.mu.Lock()
 					if cur, ok := n.store.Get(e.File); ok && cur.Kind == store.DivertedIn {
@@ -108,7 +109,7 @@ func (n *Node) maintainOnce() {
 			if r == n.ID() {
 				continue
 			}
-			res, err := n.net.Invoke(n.ID(), r, &acquireMsg{
+			res, err := n.net.Invoke(context.Background(), n.ID(), r, &acquireMsg{
 				File: e.File, Key: key, Size: e.Size, K: k,
 				Holder: n.ID(), HolderLeaving: !selfIn,
 			})
@@ -195,7 +196,7 @@ func (n *Node) migratePointerHome(p store.Pointer) {
 	}
 	n.mu.Unlock()
 	if err == nil {
-		_, _ = n.net.Invoke(n.ID(), p.Target, &discardMsg{File: p.File, Abort: true})
+		_, _ = n.net.Invoke(context.Background(), n.ID(), p.Target, &discardMsg{File: p.File, Abort: true})
 	}
 }
 
@@ -210,7 +211,7 @@ func (n *Node) fetchFrom(holder id.Node, f id.File) (content []byte, fc *cert.Fi
 		}
 		return e.Content, e.Cert, e.Size, true
 	}
-	res, err := n.net.Invoke(n.ID(), holder, &fetchMsg{File: f})
+	res, err := n.net.Invoke(context.Background(), n.ID(), holder, &fetchMsg{File: f})
 	if err != nil {
 		return nil, nil, 0, false
 	}
@@ -262,7 +263,7 @@ func (n *Node) handleAcquire(m *acquireMsg) *acquireReply {
 		n.mu.Lock()
 		n.store.SetPointer(store.Pointer{File: m.File, Target: m.Holder, Size: m.Size, Role: store.DivertedOut})
 		n.mu.Unlock()
-		if _, err := n.net.Invoke(n.ID(), m.Holder, &convertToDivertedMsg{File: m.File, Owner: n.ID()}); err != nil {
+		if _, err := n.net.Invoke(context.Background(), n.ID(), m.Holder, &convertToDivertedMsg{File: m.File, Owner: n.ID()}); err != nil {
 			n.mu.Lock()
 			n.store.RemovePointer(m.File)
 			n.mu.Unlock()
@@ -293,7 +294,7 @@ func (n *Node) handleAcquire(m *acquireMsg) *acquireReply {
 		distant = append(distant, hi[len(hi)-1])
 	}
 	for _, far := range distant {
-		res, err := n.net.Invoke(n.ID(), far, &locateSpaceMsg{File: m.File, Size: size})
+		res, err := n.net.Invoke(context.Background(), n.ID(), far, &locateSpaceMsg{File: m.File, Size: size})
 		if err != nil {
 			continue
 		}
@@ -301,7 +302,7 @@ func (n *Node) handleAcquire(m *acquireMsg) *acquireReply {
 		if !ls.OK {
 			continue
 		}
-		dres, err := n.net.Invoke(n.ID(), ls.Candidate,
+		dres, err := n.net.Invoke(context.Background(), n.ID(), ls.Candidate,
 			&divertStoreMsg{File: m.File, Size: size, Content: content, Cert: fc, Owner: n.ID()})
 		if err != nil {
 			continue
@@ -344,7 +345,7 @@ func (n *Node) handleLocateSpace(m *locateSpaceMsg) *locateSpaceReply {
 	n.mu.Unlock()
 
 	for _, member := range n.overlay.LeafSet() {
-		res, err := n.net.Invoke(n.ID(), member, &freeSpaceMsg{})
+		res, err := n.net.Invoke(context.Background(), n.ID(), member, &freeSpaceMsg{})
 		if err != nil {
 			continue
 		}

@@ -75,6 +75,16 @@ type Config struct {
 	// diverted-replica target (section 3.3.1, policy 2) with a uniformly
 	// random eligible node. Used only by the ablation benchmarks.
 	RandomDivert bool
+	// Retry, when non-nil, enables the client-side resilience layer:
+	// budgeted backoff retries around Insert/Lookup/Reclaim, per-attempt
+	// deadlines, and hedged lookups. Nil preserves fail-fast behavior.
+	Retry *RetryPolicy
+	// PartialInsert lets an insert coordinator succeed with fewer than k
+	// replicas when some replica-set members are unreachable (at least
+	// one replica must still be stored). The shortfall is a repair debt
+	// that replica maintenance settles once the leaf set heals; without
+	// this flag any unreachable member aborts the attempt.
+	PartialInsert bool
 }
 
 // DefaultConfig returns the paper's parameters: k=5, tpri=0.1,
@@ -160,6 +170,7 @@ type Node struct {
 	cache *cache.Cache
 	card  *cert.Smartcard
 	rng   *rand.Rand
+	retry retryState
 
 	// maintenance state
 	maintaining     bool
@@ -190,6 +201,11 @@ func NewWithStore(nid id.Node, net netsim.Net, cfg Config, backend store.Backend
 	}
 	n.overlay = pastry.New(nid, net, cfg.Pastry, (*app)(n), seed^0x5eed)
 	n.overlay.OnLeafSetChange = n.maintainReplicas
+	n.overlay.OnReroute = func(id.Node) {
+		if rm := n.resMon(); rm != nil {
+			rm.RecordReroute()
+		}
+	}
 	n.cache.SetLimit(n.store.Free())
 	if cfg.K > n.overlay.Config().L/2+1 {
 		panic(fmt.Sprintf("past: k=%d exceeds l/2+1=%d", cfg.K, n.overlay.Config().L/2+1))

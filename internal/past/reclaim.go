@@ -1,6 +1,7 @@
 package past
 
 import (
+	"context"
 	"fmt"
 
 	"past/internal/cert"
@@ -29,13 +30,27 @@ type ReclaimResult struct {
 // factor; a file inserted with a larger per-insert K is only guaranteed
 // to be reclaimed on the K+1 closest nodes the coordinator covers.
 func (n *Node) Reclaim(f id.File, owner *cert.Smartcard) (*ReclaimResult, error) {
+	return n.ReclaimContext(context.Background(), f, owner)
+}
+
+// ReclaimContext is Reclaim bounded by a context. When Config.Retry is
+// set, transient routing failures are retried under the policy (reclaim
+// is idempotent: a replica already discarded by an earlier attempt
+// simply reports not-held on the next).
+func (n *Node) ReclaimContext(ctx context.Context, f id.File, owner *cert.Smartcard) (*ReclaimResult, error) {
 	var rc *cert.ReclaimCertificate
 	if owner != nil {
 		rc = owner.IssueReclaimCert(f)
 	} else if n.cfg.VerifyCerts {
 		return nil, fmt.Errorf("past: reclaim %s: certificate verification requires an owner card", f.Short())
 	}
-	reply, _, err := n.overlay.Route(f.Key(), &ReclaimMsg{File: f, Cert: rc})
+	reply, err := n.retryLoop(ctx, nil, func(actx context.Context) (any, error) {
+		rep, _, rerr := n.overlay.RouteContext(actx, f.Key(), &ReclaimMsg{File: f, Cert: rc})
+		if rerr != nil {
+			return nil, rerr
+		}
+		return rep, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("past: reclaim %s: %w", f.Short(), err)
 	}
@@ -85,7 +100,7 @@ func (n *Node) coordinateReclaim(key id.Node, m *ReclaimMsg) *ReclaimReply {
 			}
 			dr = res.(*discardReply)
 		} else {
-			res, err := n.net.Invoke(n.ID(), member, &discardMsg{File: m.File, Cert: m.Cert})
+			res, err := n.net.Invoke(context.Background(), n.ID(), member, &discardMsg{File: m.File, Cert: m.Cert})
 			if err != nil {
 				continue
 			}
@@ -134,7 +149,7 @@ func (n *Node) handleDiscard(m *discardMsg) (any, error) {
 
 	if hadPtr && ptr.Role == store.DivertedOut {
 		// Chase the pointer so the diverted replica is discarded too.
-		if res, err := n.net.Invoke(n.ID(), ptr.Target, &discardMsg{File: m.File, Cert: m.Cert, Abort: m.Abort}); err == nil {
+		if res, err := n.net.Invoke(context.Background(), n.ID(), ptr.Target, &discardMsg{File: m.File, Cert: m.Cert, Abort: m.Abort}); err == nil {
 			if dr := res.(*discardReply); dr.Had {
 				rep.Had = true
 				rep.Size += dr.Size

@@ -1,6 +1,7 @@
 package pastry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,7 +32,7 @@ func (n *Node) Join(bootstrap id.Node) error {
 	}
 	// Obtain the bootstrap node's neighborhood set: A is proximally
 	// nearby, so A's neighbors are good candidates for ours.
-	res, err := n.net.Invoke(n.self, bootstrap, &StateRequest{})
+	res, err := n.net.Invoke(context.Background(), n.self, bootstrap, &StateRequest{})
 	if err != nil {
 		return fmt.Errorf("pastry: join via %s: %w", bootstrap.Short(), err)
 	}
@@ -39,7 +40,7 @@ func (n *Node) Join(bootstrap id.Node) error {
 
 	// Ask A to route the join message to Z.
 	req := &RouteRequest{Key: n.self, Payload: joinPayload{Joiner: n.self}, JoinCollect: true}
-	res, err = n.net.Invoke(n.self, bootstrap, req)
+	res, err = n.net.Invoke(context.Background(), n.self, bootstrap, req)
 	if err != nil {
 		return fmt.Errorf("pastry: join route via %s: %w", bootstrap.Short(), err)
 	}
@@ -80,7 +81,7 @@ func (n *Node) announce() {
 	n.mu.Unlock()
 	for _, t := range targets {
 		// Best effort: a dead target will be noticed by keep-alives.
-		if _, err := n.net.Invoke(n.self, t, &Announce{NewNode: n.self}); err != nil {
+		if _, err := n.net.Invoke(context.Background(), n.self, t, &Announce{NewNode: n.self}); err != nil {
 			n.forget(t)
 		}
 	}
@@ -110,7 +111,7 @@ func (n *Node) Depart() {
 	n.joined = false
 	n.mu.Unlock()
 	for _, t := range targets {
-		_, _ = n.net.Invoke(n.self, t, &Depart{Node: n.self})
+		_, _ = n.net.Invoke(context.Background(), n.self, t, &Depart{Node: n.self})
 	}
 }
 
@@ -122,7 +123,7 @@ func (n *Node) Depart() {
 func (n *Node) Rejoin(lastLeaf []id.Node) error {
 	reached := 0
 	for _, m := range lastLeaf {
-		res, err := n.net.Invoke(n.self, m, &StateRequest{})
+		res, err := n.net.Invoke(context.Background(), n.self, m, &StateRequest{})
 		if err != nil {
 			continue
 		}

@@ -139,12 +139,18 @@ func (n *Node) inLeafRangeLocked(key id.Node) bool {
 	return lo.CWDist(key).Cmp(lo.CWDist(hi)) <= 0
 }
 
-// closestLeafLocked returns the member of leaf set + self numerically
-// closest to key. Caller holds n.mu.
-func (n *Node) closestLeafLocked(key id.Node) id.Node {
+// closestLeafAvoidingLocked returns the member of leaf set + self
+// numerically closest to key, skipping excluded members (hops already
+// found dead on the current route). Self is never excluded: with every
+// closer member dead, this node takes over as the closest live one.
+// Caller holds n.mu.
+func (n *Node) closestLeafAvoidingLocked(key id.Node, excluded func(id.Node) bool) id.Node {
 	best := n.self
 	for _, s := range [][]id.Node{n.leafLo, n.leafHi} {
 		for _, m := range s {
+			if excluded(m) {
+				continue
+			}
 			if key.Closer(m, best) {
 				best = m
 			}

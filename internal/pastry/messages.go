@@ -1,6 +1,7 @@
 package pastry
 
 import (
+	"context"
 	"fmt"
 
 	"past/internal/id"
@@ -101,7 +102,10 @@ type Ack struct{}
 func (n *Node) Deliver(from id.Node, msg any) (any, error) {
 	switch m := msg.(type) {
 	case *RouteRequest:
-		return n.routeStep(m)
+		// A relayed message runs under a fresh context: the originator's
+		// deadline bounds its own Invoke of the first hop, and each relay
+		// bounds its onward RPCs with cfg.HopTimeout.
+		return n.routeStep(context.Background(), m)
 	case *Ping:
 		return &Pong{}, nil
 	case *StateRequest:

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"past/internal/id"
 	"past/internal/netsim"
@@ -50,6 +52,17 @@ type Config struct {
 	// HopLimit bounds route length as a defense against state-corruption
 	// bugs; 0 selects a generous default.
 	HopLimit int
+	// HopTimeout, when positive, bounds each forwarding RPC (on top of
+	// any request-level deadline), so one silent next hop costs a bounded
+	// wait before the route tries an alternate. Zero leaves per-hop RPCs
+	// bounded only by the request context, which is right for the
+	// in-process emulation where calls cannot hang.
+	HopTimeout time.Duration
+	// FailFast disables per-hop reroute: a failed next-hop RPC aborts
+	// the route immediately instead of trying alternates. This restores
+	// the pre-resilience baseline and exists for the chaos soak's
+	// layer-off comparison and for ablations.
+	FailFast bool
 }
 
 // DefaultConfig returns the paper's standard parameters: b=4, l=32.
@@ -114,10 +127,18 @@ type Node struct {
 	rng    *rand.Rand
 	joined bool
 
+	reroutes atomic.Int64
+
 	// OnLeafSetChange, if set, is called (without the node lock held)
 	// after any mutation of the leaf set. PAST uses it to re-establish
 	// the k-replica invariant.
 	OnLeafSetChange func()
+
+	// OnReroute, if set, observes every next hop presumed failed during
+	// routing (after the hop was evicted and the route moved to an
+	// alternate). The metrics layer counts these. Called without the
+	// node lock held.
+	OnReroute func(dead id.Node)
 }
 
 // New creates a node with the given identifier. app may be nil, in which
@@ -164,6 +185,10 @@ func (n *Node) Bootstrap() {
 	n.joined = true
 	n.mu.Unlock()
 }
+
+// Reroutes returns how many next hops this node has presumed failed and
+// routed around since creation.
+func (n *Node) Reroutes() int64 { return n.reroutes.Load() }
 
 // notifyLeafChange invokes the leaf-set callback outside the lock.
 func (n *Node) notifyLeafChange() {

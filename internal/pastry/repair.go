@@ -1,6 +1,7 @@
 package pastry
 
 import (
+	"context"
 	"past/internal/id"
 )
 
@@ -41,7 +42,7 @@ func (n *Node) repairTableEntry(dead id.Node) {
 		if asked >= 3 {
 			break
 		}
-		res, err := n.net.Invoke(n.self, p, &RowRequest{Row: row})
+		res, err := n.net.Invoke(context.Background(), n.self, p, &RowRequest{Row: row})
 		if err != nil {
 			continue
 		}
@@ -74,7 +75,7 @@ func (n *Node) repairTableEntry(dead id.Node) {
 func (n *Node) CheckLeafSet() (dead []id.Node) {
 	changed := false
 	for _, m := range n.LeafSet() {
-		if _, err := n.net.Invoke(n.self, m, &Ping{}); err != nil {
+		if _, err := n.net.Invoke(context.Background(), n.self, m, &Ping{}); err != nil {
 			dead = append(dead, m)
 			if n.forget(m) {
 				changed = true
@@ -103,7 +104,7 @@ func (n *Node) repairLeafSet() bool {
 	lo, hi := n.LeafSides()
 	for _, side := range [][]id.Node{lo, hi} {
 		for i := len(side) - 1; i >= 0; i-- { // farthest live member first
-			res, err := n.net.Invoke(n.self, side[i], &StateRequest{})
+			res, err := n.net.Invoke(context.Background(), n.self, side[i], &StateRequest{})
 			if err != nil {
 				if n.forget(side[i]) {
 					changed = true
@@ -123,7 +124,7 @@ func (n *Node) repairLeafSet() bool {
 	}
 	// Symmetric repair: make sure every member has us.
 	for _, m := range n.LeafSet() {
-		if _, err := n.net.Invoke(n.self, m, &Announce{NewNode: n.self}); err != nil {
+		if _, err := n.net.Invoke(context.Background(), n.self, m, &Announce{NewNode: n.self}); err != nil {
 			if n.forget(m) {
 				changed = true
 			}

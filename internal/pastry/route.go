@@ -1,6 +1,7 @@
 package pastry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -12,12 +13,26 @@ import (
 // which indicates corrupted routing state rather than a transient fault.
 var ErrHopLimit = errors.New("pastry: hop limit exceeded")
 
+// ErrNoRoute reports that every admissible next hop was excluded or
+// found dead: the route ran out of alternates. It is retryable in the
+// large (routing state repairs between attempts) but fatal for the
+// attempt that observed it.
+var ErrNoRoute = errors.New("pastry: no route")
+
 // Route routes payload toward key and returns the consuming node's reply
 // and the number of overlay hops taken (0 if this node consumed the
-// message itself).
+// message itself). It carries no deadline; use RouteContext to bound the
+// request.
 func (n *Node) Route(key id.Node, payload any) (reply any, hops int, err error) {
+	return n.RouteContext(context.Background(), key, payload)
+}
+
+// RouteContext is Route bounded by a context: the deadline covers the
+// whole route (every hop and reroute), and cancellation aborts it
+// between hops. Expiry surfaces as netsim.ErrTimeout.
+func (n *Node) RouteContext(ctx context.Context, key id.Node, payload any) (reply any, hops int, err error) {
 	req := &RouteRequest{Key: key, Payload: payload}
-	rr, err := n.routeStep(req)
+	rr, err := n.routeStep(ctx, req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -28,18 +43,102 @@ func (n *Node) Route(key id.Node, payload any) (reply any, hops int, err error) 
 // diagnostics.
 func (n *Node) RouteTraced(key id.Node, payload any) (reply any, hops int, path []id.Node, err error) {
 	req := &RouteRequest{Key: key, Payload: payload, CollectPath: true}
-	rr, err := n.routeStep(req)
+	rr, err := n.routeStep(context.Background(), req)
 	if err != nil {
 		return nil, 0, nil, err
 	}
 	return rr.Payload, rr.Hops, rr.Path, nil
 }
 
+// FirstHop returns the node this node would forward a message for key to
+// right now (the zero id if it would consume the message itself). Hedged
+// requests use it to steer a second attempt around the primary's entry
+// point.
+func (n *Node) FirstHop(key id.Node) id.Node { return n.nextHop(key) }
+
+// RouteAvoiding routes payload toward key like RouteContext, but never
+// uses any of the avoid nodes as the first hop. It is the hedged-request
+// primitive: a second attempt that enters the overlay somewhere else, so
+// a fault on the primary's path is not simply replayed. If no admissible
+// first hop exists it fails fast with ErrNoRoute (duplicating the
+// primary's exact path would add load without adding diversity). The
+// origin's Forward upcall is skipped — the primary attempt already ran
+// it locally.
+func (n *Node) RouteAvoiding(ctx context.Context, key id.Node, payload any, avoid ...id.Node) (reply any, hops int, err error) {
+	tried := make(map[id.Node]bool, len(avoid))
+	for _, a := range avoid {
+		if !a.IsZero() {
+			tried[a] = true
+		}
+	}
+	req := &RouteRequest{Key: key, Payload: payload}
+	for {
+		if err := netsim.CtxErr(ctx); err != nil {
+			return nil, 0, err
+		}
+		next := n.nextHopAvoiding(key, tried)
+		if next.IsZero() {
+			return nil, 0, fmt.Errorf("%w: key %s: no first hop outside %d avoided at %s",
+				ErrNoRoute, key.Short(), len(tried), n.self.Short())
+		}
+		req.Hops = 1
+		res, err := n.invokeHop(ctx, next, req)
+		if err != nil && netsim.Retryable(err) && netsim.CtxErr(ctx) == nil && !n.cfg.FailFast {
+			tried[next] = true
+			n.noteHopFailure(next)
+			continue
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		rr, ok := res.(*RouteReply)
+		if !ok {
+			return nil, 0, fmt.Errorf("pastry: unexpected route reply %T from %s", res, next.Short())
+		}
+		n.app.Backward(key, payload, rr.Payload)
+		return rr.Payload, rr.Hops, nil
+	}
+}
+
+// invokeHop sends one routed message to the next hop, applying the
+// per-hop timeout (if configured) on top of the request context.
+func (n *Node) invokeHop(ctx context.Context, next id.Node, req *RouteRequest) (any, error) {
+	if n.cfg.HopTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.cfg.HopTimeout)
+		defer cancel()
+	}
+	return n.net.Invoke(ctx, n.self, next, req)
+}
+
+// noteHopFailure records a next hop found dead mid-route: drop it from
+// all routing state, repair the vacated table slot from peers (the
+// presumed-failed analogue of a keep-alive timeout), and account the
+// reroute.
+func (n *Node) noteHopFailure(dead id.Node) {
+	if n.forget(dead) {
+		n.notifyLeafChange()
+	}
+	n.repairTableEntry(dead)
+	n.reroutes.Add(1)
+	if cb := n.OnReroute; cb != nil {
+		cb(dead)
+	}
+}
+
 // routeStep processes a routed message at this node: consume it here
 // (application Forward, application Deliver, or join handling) or
 // forward it to the next hop. It is called both for messages originated
-// by this node and for messages received from the network.
-func (n *Node) routeStep(req *RouteRequest) (*RouteReply, error) {
+// by this node and for messages received from the network. A next hop
+// that fails or times out is excluded and the step reroutes through the
+// best remaining alternate (routing-table entries, then leaf-set
+// neighbors, per section 2.1's repair semantics); only when every
+// alternate is exhausted does the node consume the message itself as
+// the numerically closest live node it knows of.
+func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, error) {
+	if err := netsim.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	if req.Hops > n.cfg.HopLimit {
 		return nil, fmt.Errorf("%w: key %s at node %s after %d hops",
 			ErrHopLimit, req.Key.Short(), n.self.Short(), req.Hops)
@@ -60,8 +159,9 @@ func (n *Node) routeStep(req *RouteRequest) (*RouteReply, error) {
 		}
 	}
 
+	var tried map[id.Node]bool
 	for {
-		next := n.nextHop(req.Key)
+		next := n.nextHopAvoiding(req.Key, tried)
 		if next.IsZero() {
 			// This node is the numerically closest live node it knows of:
 			// consume the message.
@@ -80,16 +180,21 @@ func (n *Node) routeStep(req *RouteRequest) (*RouteReply, error) {
 		}
 
 		req.Hops++
-		res, err := n.net.Invoke(n.self, next, req)
-		if errors.Is(err, netsim.ErrNodeDown) || errors.Is(err, netsim.ErrUnknownNode) {
-			// The presumed-failed analogue of a keep-alive timeout: drop
-			// the dead entry, repair the vacated table slot from peers,
-			// and retry with the next best candidate.
-			req.Hops--
-			if n.forget(next) {
-				n.notifyLeafChange()
+		res, err := n.invokeHop(ctx, next, req)
+		if err != nil && netsim.Retryable(err) && !n.cfg.FailFast {
+			if ctxErr := netsim.CtxErr(ctx); ctxErr != nil {
+				// The request deadline, not the hop, expired: stop.
+				return nil, ctxErr
 			}
-			n.repairTableEntry(next)
+			// Presumed failed: exclude the hop for this route, evict it
+			// from routing state, repair the slot, and retry with the
+			// next best candidate.
+			req.Hops--
+			if tried == nil {
+				tried = make(map[id.Node]bool)
+			}
+			tried[next] = true
+			n.noteHopFailure(next)
 			continue
 		}
 		if err != nil {
@@ -127,21 +232,29 @@ func (n *Node) collectJoinRows(req *RouteRequest, joiner id.Node) {
 }
 
 // nextHop selects the node to forward a message for key to, or the zero
-// id if this node should consume it. This is the routing procedure of
-// section 2.1: leaf set if the key is in range, otherwise the routing
+// id if this node should consume it.
+func (n *Node) nextHop(key id.Node) id.Node { return n.nextHopAvoiding(key, nil) }
+
+// nextHopAvoiding is the routing procedure of section 2.1 with an
+// exclusion set: leaf set if the key is in range, otherwise the routing
 // table entry with a longer prefix match, otherwise any known node that
 // is closer to the key without shortening the prefix match (the "rare
-// case"). With RandomizeP > 0 the choice is occasionally made among all
-// valid candidates to defeat repeat-interception.
-func (n *Node) nextHop(key id.Node) id.Node {
+// case"). Nodes in avoid — hops already found dead on this route, or a
+// hedge's primary entry point — are skipped, which is what turns the
+// procedure into per-hop reroute: excluding the best candidate makes the
+// same rules yield the best alternate. With RandomizeP > 0 the choice is
+// occasionally made among all valid candidates to defeat
+// repeat-interception.
+func (n *Node) nextHopAvoiding(key id.Node, avoid map[id.Node]bool) id.Node {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	excluded := func(c id.Node) bool { return avoid != nil && avoid[c] }
 
 	if key == n.self {
 		return id.Node{}
 	}
 	if n.inLeafRangeLocked(key) {
-		c := n.closestLeafLocked(key)
+		c := n.closestLeafAvoidingLocked(key, excluded)
 		if c == n.self {
 			return id.Node{}
 		}
@@ -149,8 +262,11 @@ func (n *Node) nextHop(key id.Node) id.Node {
 	}
 
 	best := n.tableLookupLocked(key)
+	if excluded(best) {
+		best = id.Node{}
+	}
 	if n.cfg.RandomizeP > 0 && n.rng.Float64() < n.cfg.RandomizeP {
-		if c := n.randomValidCandidateLocked(key); !c.IsZero() {
+		if c := n.randomValidCandidateLocked(key, excluded); !c.IsZero() {
 			return c
 		}
 	}
@@ -158,14 +274,18 @@ func (n *Node) nextHop(key id.Node) id.Node {
 		return best
 	}
 
-	// Rare case: no table entry. Use any known node that shares at least
-	// as long a prefix with the key and is numerically closer to it.
+	// Rare case (and the reroute fallback): no usable table entry. Use
+	// any known node that shares at least as long a prefix with the key
+	// and is numerically closer to it.
 	myPrefix := n.self.SharedPrefix(key, n.cfg.B)
 	myDist := n.self.RingDist(key)
 	var fallback id.Node
 	bestPrefix := myPrefix
 	bestDist := myDist
 	for _, c := range n.candidatesLocked() {
+		if excluded(c) {
+			continue
+		}
 		p := c.SharedPrefix(key, n.cfg.B)
 		if p < myPrefix {
 			continue
@@ -192,16 +312,17 @@ func (n *Node) candidatesLocked() []id.Node {
 	return out
 }
 
-// randomValidCandidateLocked picks a uniformly random candidate that
-// preserves routing progress: at least as long a prefix match with the
-// key, strictly smaller numerical distance. Caller holds n.mu.
-func (n *Node) randomValidCandidateLocked(key id.Node) id.Node {
+// randomValidCandidateLocked picks a uniformly random non-excluded
+// candidate that preserves routing progress: at least as long a prefix
+// match with the key, strictly smaller numerical distance. Caller holds
+// n.mu.
+func (n *Node) randomValidCandidateLocked(key id.Node, excluded func(id.Node) bool) id.Node {
 	myPrefix := n.self.SharedPrefix(key, n.cfg.B)
 	myDist := n.self.RingDist(key)
 	var valid []id.Node
 	seen := make(map[id.Node]bool)
 	for _, c := range n.candidatesLocked() {
-		if seen[c] {
+		if seen[c] || excluded(c) {
 			continue
 		}
 		seen[c] = true

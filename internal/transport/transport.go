@@ -12,9 +12,11 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,24 +26,29 @@ import (
 	"past/internal/wire"
 )
 
-// DialTimeout bounds connection establishment; a node that cannot be
+// DefaultDialTimeout bounds connection establishment unless the
+// instance overrides it with SetDialTimeout; a node that cannot be
 // dialed is reported down, which is how Pastry detects failures.
-const DialTimeout = 2 * time.Second
+const DefaultDialTimeout = 2 * time.Second
+
+// DialTimeout is the historical name of the package default.
+const DialTimeout = DefaultDialTimeout
 
 // TCP is a transport endpoint: client side (netsim.Net) plus server.
 type TCP struct {
 	self id.Node
 	addr string // listen address, rewritten to the bound address
 
-	mu      sync.Mutex
-	dir     map[id.Node]wire.DirEntry
-	idle    map[id.Node][]*conn
-	serving map[net.Conn]struct{}
-	ep      netsim.Endpoint
-	ln      net.Listener
-	wg      sync.WaitGroup
-	done    chan struct{}
-	once    sync.Once
+	mu          sync.Mutex
+	dialTimeout time.Duration
+	dir         map[id.Node]wire.DirEntry
+	idle        map[id.Node][]*conn
+	serving     map[net.Conn]struct{}
+	ep          netsim.Endpoint
+	ln          net.Listener
+	wg          sync.WaitGroup
+	done        chan struct{}
+	once        sync.Once
 }
 
 var _ netsim.Net = (*TCP)(nil)
@@ -60,13 +67,14 @@ func New(self id.Node, addr string, pos topology.Point) (*TCP, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	t := &TCP{
-		self:    self,
-		addr:    ln.Addr().String(),
-		dir:     make(map[id.Node]wire.DirEntry),
-		idle:    make(map[id.Node][]*conn),
-		serving: make(map[net.Conn]struct{}),
-		ln:      ln,
-		done:    make(chan struct{}),
+		self:        self,
+		addr:        ln.Addr().String(),
+		dialTimeout: DefaultDialTimeout,
+		dir:         make(map[id.Node]wire.DirEntry),
+		idle:        make(map[id.Node][]*conn),
+		serving:     make(map[net.Conn]struct{}),
+		ln:          ln,
+		done:        make(chan struct{}),
 	}
 	t.dir[self] = wire.DirEntry{ID: self, Addr: t.addr, X: pos.X, Y: pos.Y}
 	return t, nil
@@ -74,6 +82,25 @@ func New(self id.Node, addr string, pos topology.Point) (*TCP, error) {
 
 // Addr returns the bound listen address.
 func (t *TCP) Addr() string { return t.addr }
+
+// SetDialTimeout overrides this instance's connection-establishment
+// bound (the failure-detection horizon). It applies to future dials;
+// zero or negative restores the package default.
+func (t *TCP) SetDialTimeout(d time.Duration) {
+	if d <= 0 {
+		d = DefaultDialTimeout
+	}
+	t.mu.Lock()
+	t.dialTimeout = d
+	t.mu.Unlock()
+}
+
+// dialTimeoutNow returns the instance's current dial timeout.
+func (t *TCP) dialTimeoutNow() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dialTimeout
+}
 
 // Serve installs the local endpoint and starts accepting connections.
 func (t *TCP) Serve(ep netsim.Endpoint) {
@@ -199,8 +226,13 @@ func (t *TCP) SelfEntry() wire.DirEntry {
 // Invoke sends msg to dst and returns its reply, implementing
 // netsim.Net. Unknown or unreachable destinations map onto the
 // emulation's sentinel errors so the protocol layers behave
-// identically over sockets.
-func (t *TCP) Invoke(src, dst id.Node, msg any) (any, error) {
+// identically over sockets; the context deadline bounds the whole
+// exchange (dial + write + read) and its expiry surfaces as
+// netsim.ErrTimeout.
+func (t *TCP) Invoke(ctx context.Context, src, dst id.Node, msg any) (any, error) {
+	if err := netsim.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	t.mu.Lock()
 	e, ok := t.dir[dst]
 	t.mu.Unlock()
@@ -217,20 +249,46 @@ func (t *TCP) Invoke(src, dst id.Node, msg any) (any, error) {
 		}
 		return ep.Deliver(src, msg)
 	}
-	resp, err := t.call(dst, e.Addr, &wire.Request{Src: src, Msg: msg})
+	resp, err := t.call(ctx, dst, e.Addr, &wire.Request{Src: src, Msg: msg})
 	if err != nil {
+		if ctxErr := netsim.CtxErr(ctx); ctxErr != nil {
+			return nil, ctxErr
+		}
+		if isTimeout(err) {
+			return nil, fmt.Errorf("%w: %s: %v", netsim.ErrTimeout, dst.Short(), err)
+		}
 		return nil, fmt.Errorf("%w: %s: %v", netsim.ErrNodeDown, dst.Short(), err)
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, rehydrateErr(resp.Err)
 	}
 	return resp.Msg, nil
+}
+
+// isTimeout reports whether a socket-level failure was a deadline
+// expiry rather than a refused/reset connection.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// rehydrateErr maps an error string received over the wire back onto
+// the sentinel taxonomy, so errors.Is classification (and therefore
+// retry decisions) work identically over sockets and in-process. Any
+// unrecognized string stays an opaque application error.
+func rehydrateErr(s string) error {
+	for _, sentinel := range []error{netsim.ErrNodeDown, netsim.ErrUnknownNode, netsim.ErrTimeout} {
+		if strings.Contains(s, sentinel.Error()) {
+			return fmt.Errorf("%w: remote: %s", sentinel, s)
+		}
+	}
+	return errors.New(s)
 }
 
 // InvokeAddr sends msg directly to a known address (used before the
 // destination's nodeId is known, e.g. the first bootstrap contact).
 func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
-	c, err := t.dial(addr)
+	c, err := t.dial(context.Background(), addr)
 	if err != nil {
 		return nil, err
 	}
@@ -256,21 +314,21 @@ func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
 // while idle (peer restart, half-closed socket), so the request is
 // retried once on a fresh dial before the destination is declared
 // dead — a fresh-dial failure is authoritative.
-func (t *TCP) call(dst id.Node, addr string, req *wire.Request) (*wire.Response, error) {
-	c, pooled, err := t.getConn(dst, addr)
+func (t *TCP) call(ctx context.Context, dst id.Node, addr string, req *wire.Request) (*wire.Response, error) {
+	c, pooled, err := t.getConn(ctx, dst, addr)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := roundTrip(c, req)
+	resp, err := roundTrip(ctx, c, req)
 	if err != nil {
 		c.c.Close()
-		if !pooled {
+		if !pooled || netsim.CtxErr(ctx) != nil {
 			return nil, err
 		}
-		if c, err = t.dial(addr); err != nil {
+		if c, err = t.dial(ctx, addr); err != nil {
 			return nil, err
 		}
-		if resp, err = roundTrip(c, req); err != nil {
+		if resp, err = roundTrip(ctx, c, req); err != nil {
 			c.c.Close()
 			return nil, err
 		}
@@ -279,17 +337,34 @@ func (t *TCP) call(dst id.Node, addr string, req *wire.Request) (*wire.Response,
 	return resp, nil
 }
 
-// roundTrip writes one request and reads its response.
-func roundTrip(c *conn, req *wire.Request) (*wire.Response, error) {
+// roundTrip writes one request and reads its response, bounded by the
+// context deadline via SetDeadline on the socket. The deadline is
+// cleared afterwards so the connection can return to the pool clean.
+func roundTrip(ctx context.Context, c *conn, req *wire.Request) (*wire.Response, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		if err := c.c.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+	}
 	if err := c.codec.WriteRequest(req); err != nil {
 		return nil, err
 	}
-	return c.codec.ReadResponse()
+	resp, err := c.codec.ReadResponse()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := ctx.Deadline(); ok {
+		if err := c.c.SetDeadline(time.Time{}); err != nil {
+			c.c.Close()
+			return resp, nil // response already complete; just drop the conn
+		}
+	}
+	return resp, nil
 }
 
 // getConn returns an idle pooled connection if one exists (pooled =
 // true), else a fresh dial.
-func (t *TCP) getConn(dst id.Node, addr string) (*conn, bool, error) {
+func (t *TCP) getConn(ctx context.Context, dst id.Node, addr string) (*conn, bool, error) {
 	t.mu.Lock()
 	if cs := t.idle[dst]; len(cs) > 0 {
 		c := cs[len(cs)-1]
@@ -298,12 +373,13 @@ func (t *TCP) getConn(dst id.Node, addr string) (*conn, bool, error) {
 		return c, true, nil
 	}
 	t.mu.Unlock()
-	c, err := t.dial(addr)
+	c, err := t.dial(ctx, addr)
 	return c, false, err
 }
 
-func (t *TCP) dial(addr string) (*conn, error) {
-	c, err := net.DialTimeout("tcp", addr, DialTimeout)
+func (t *TCP) dial(ctx context.Context, addr string) (*conn, error) {
+	d := net.Dialer{Timeout: t.dialTimeoutNow()}
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +408,7 @@ func (t *TCP) Alive(dst id.Node) bool {
 	if !ok {
 		return false
 	}
-	c, err := net.DialTimeout("tcp", e.Addr, DialTimeout)
+	c, err := net.DialTimeout("tcp", e.Addr, t.dialTimeoutNow())
 	if err != nil {
 		return false
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -195,7 +196,7 @@ func TestTCPUnknownNode(t *testing.T) {
 	defer nd.t.Close()
 	var ghost id.Node
 	rng.Read(ghost[:])
-	if _, err := nd.t.Invoke(nd.node.ID(), ghost, &pastry.Ping{}); err == nil {
+	if _, err := nd.t.Invoke(context.Background(), nd.node.ID(), ghost, &pastry.Ping{}); err == nil {
 		t.Fatal("invoke of unknown node must fail")
 	}
 	if nd.t.Alive(ghost) {
@@ -333,11 +334,11 @@ func TestInvokeBeforeServe(t *testing.T) {
 	}
 	defer ta.Close()
 	// Self-invoke without an endpoint installed errors cleanly.
-	if _, err := ta.Invoke(a, a, &pastry.Ping{}); err == nil {
+	if _, err := ta.Invoke(context.Background(), a, a, &pastry.Ping{}); err == nil {
 		t.Fatal("self-invoke without endpoint must fail")
 	}
 	// Invoke to an id that is not in the directory.
-	if _, err := ta.Invoke(a, b, &pastry.Ping{}); err == nil {
+	if _, err := ta.Invoke(context.Background(), a, b, &pastry.Ping{}); err == nil {
 		t.Fatal("unknown destination must fail")
 	}
 }
@@ -348,7 +349,7 @@ func TestConnectionPoolReuse(t *testing.T) {
 	// Repeated pings between the same pair must reuse pooled
 	// connections rather than growing without bound.
 	for i := 0; i < 50; i++ {
-		if _, err := a.t.Invoke(a.node.ID(), b.node.ID(), &pastry.Ping{}); err != nil {
+		if _, err := a.t.Invoke(context.Background(), a.node.ID(), b.node.ID(), &pastry.Ping{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -467,7 +468,7 @@ func TestStalePooledConnRetriesOnFreshDial(t *testing.T) {
 
 	// Hand the pool a healthy-looking connection whose server side will
 	// poison the next exchange.
-	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err != nil {
+	if _, err := ct.Invoke(context.Background(), ct.self, sid, &pastry.Ping{}); err != nil {
 		t.Fatalf("first invoke: %v", err)
 	}
 	ct.mu.Lock()
@@ -477,7 +478,7 @@ func TestStalePooledConnRetriesOnFreshDial(t *testing.T) {
 		t.Fatalf("pooled %d connections; want 1", pooled)
 	}
 
-	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err != nil {
+	if _, err := ct.Invoke(context.Background(), ct.self, sid, &pastry.Ping{}); err != nil {
 		t.Fatalf("invoke over stale pooled conn must retry on a fresh dial: %v", err)
 	}
 	if got := s.accepts.Load(); got != 2 {
@@ -499,7 +500,7 @@ func TestHalfWrittenResponseOnFreshConnFails(t *testing.T) {
 	s := newFaultyServer(t, []string{"half"})
 	ct, sid := dialFaulty(t, s)
 
-	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err == nil {
+	if _, err := ct.Invoke(context.Background(), ct.self, sid, &pastry.Ping{}); err == nil {
 		t.Fatal("invoke must fail when the fresh connection dies mid-response")
 	}
 	if got := s.accepts.Load(); got != 1 {
@@ -520,10 +521,10 @@ func TestStaleConnRetryAlsoFailingSurfacesError(t *testing.T) {
 	s := newFaultyServer(t, []string{"echo-then-half", "half"})
 	ct, sid := dialFaulty(t, s)
 
-	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err != nil {
+	if _, err := ct.Invoke(context.Background(), ct.self, sid, &pastry.Ping{}); err != nil {
 		t.Fatalf("first invoke: %v", err)
 	}
-	if _, err := ct.Invoke(ct.self, sid, &pastry.Ping{}); err == nil {
+	if _, err := ct.Invoke(context.Background(), ct.self, sid, &pastry.Ping{}); err == nil {
 		t.Fatal("invoke must fail when the retry's fresh connection also dies")
 	}
 	if got := s.accepts.Load(); got != 2 {
