@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench experiments experiments-full examples soak-compare vet fmt clean
+.PHONY: all build test test-race race bench experiments experiments-full examples soak-compare trace-demo vet fmt clean
 
 all: build test
 
@@ -40,6 +40,14 @@ experiments-full:
 soak-compare:
 	$(GO) run ./cmd/past-chaos -compare -drop 0.10 -seed 3
 	$(GO) test -short -run 'TestSoakResilience' -v ./internal/experiments/
+
+# Traced soak demo: run a small chaos soak with per-hop tracing and the
+# JSONL event stream on, then validate that every emitted line parses.
+# Fails if the stream is malformed. Finishes in seconds.
+trace-demo:
+	$(GO) run ./cmd/past-chaos -nodes 25 -files 25 -ticks 6 -resilience \
+		-trace 2 -events-out /tmp/past-trace-demo.jsonl
+	$(GO) run ./cmd/past-chaos -check-events /tmp/past-trace-demo.jsonl
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -18,14 +18,16 @@ import (
 	"time"
 
 	"past/internal/experiments"
+	"past/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: table1|baseline|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|routing|frag|overhead|all")
-		scale = flag.String("scale", "bench", "scale preset: tiny|bench|full")
-		seed  = flag.Int64("seed", 1, "random seed")
-		seeds = flag.Int("seeds", 1, "repeat the table experiments over N seeds and report mean±sd")
+		exp    = flag.String("exp", "all", "experiment id: table1|baseline|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|routing|frag|overhead|all")
+		scale  = flag.String("scale", "bench", "scale preset: tiny|bench|full")
+		seed   = flag.Int64("seed", 1, "random seed")
+		seeds  = flag.Int("seeds", 1, "repeat the table experiments over N seeds and report mean±sd")
+		evPath = flag.String("events", "", "append one JSONL summary event per experiment to this file")
 	)
 	flag.Parse()
 
@@ -34,22 +36,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *seeds > 1 {
-		if err := runMulti(*exp, sc, *seed, *seeds); err != nil {
+	var elog *obs.EventLog
+	if *evPath != "" {
+		f, err := os.Create(*evPath)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "past-bench:", err)
+			os.Exit(2)
+		}
+		elog = obs.NewEventLog(f)
+		defer func() {
+			if err := elog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "past-bench: event log:", err)
+			}
+			f.Close()
+		}()
+	}
+	if *seeds > 1 {
+		if err := runMulti(*exp, sc, *seed, *seeds, elog); err != nil {
+			fmt.Fprintln(os.Stderr, "past-bench:", err)
+			elog.Close()
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*exp, sc, *seed); err != nil {
+	if err := run(*exp, sc, *seed, elog); err != nil {
 		fmt.Fprintln(os.Stderr, "past-bench:", err)
+		elog.Close()
 		os.Exit(1)
 	}
 }
 
 // runMulti repeats the table sweeps over several seeds, reporting
 // mean±sd per cell.
-func runMulti(exp string, sc experiments.Scale, seed0 int64, n int) error {
+func runMulti(exp string, sc experiments.Scale, seed0 int64, n int, elog *obs.EventLog) error {
 	seedList := make([]int64, n)
 	for i := range seedList {
 		seedList[i] = seed0 + int64(i)
@@ -86,11 +105,15 @@ func runMulti(exp string, sc experiments.Scale, seed0 int64, n int) error {
 		fmt.Printf("==== %s (scale=%s, %d seeds, %.1fs) ====\n%s\n",
 			sw.id, sc.Name, n, time.Since(start).Seconds(),
 			experiments.RenderStorageMulti(sw.id, labels, runs))
+		elog.Emit(obs.Event{
+			Kind: "experiment", Op: sw.id, N: time.Since(start).Milliseconds(), OK: true,
+			Detail: fmt.Sprintf("scale=%s seeds=%d", sc.Name, n),
+		})
 	}
 	return nil
 }
 
-func run(exp string, sc experiments.Scale, seed int64) error {
+func run(exp string, sc experiments.Scale, seed int64, elog *obs.EventLog) error {
 	ids := []string{exp}
 	if exp == "all" {
 		ids = []string{"table1", "baseline", "table2", "table3", "table4",
@@ -189,6 +212,10 @@ func run(exp string, sc experiments.Scale, seed int64) error {
 			return fmt.Errorf("unknown experiment %q", id)
 		}
 		fmt.Printf("==== %s (scale=%s, %.1fs) ====\n%s\n", id, sc.Name, time.Since(start).Seconds(), out)
+		elog.Emit(obs.Event{
+			Kind: "experiment", Op: id, N: time.Since(start).Milliseconds(), OK: true,
+			Detail: fmt.Sprintf("scale=%s seed=%d", sc.Name, seed),
+		})
 	}
 	return nil
 }

@@ -11,14 +11,14 @@ func TestRunSingleExperiments(t *testing.T) {
 	// experiments are covered by internal/experiments tests and the
 	// root benchmarks.
 	for _, exp := range []string{"table1", "routing"} {
-		if err := run(exp, experiments.ScaleTiny, 1); err != nil {
+		if err := run(exp, experiments.ScaleTiny, 1, nil); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("tableX", experiments.ScaleTiny, 1); err == nil {
+	if err := run("tableX", experiments.ScaleTiny, 1, nil); err == nil {
 		t.Fatal("unknown experiment must fail")
 	}
 }

@@ -12,9 +12,12 @@
 //	past-chaos -seed 7 -verify          # run twice, assert identical fingerprints
 //	past-chaos -resilience              # soak with the client resilience layer on
 //	past-chaos -compare                 # same schedule, layer off vs on, side by side
+//	past-chaos -trace 4 -events-out run.jsonl   # trace every 4th op, stream JSONL events
+//	past-chaos -check-events run.jsonl  # validate and summarize an event stream
 //
 // The run is deterministic: the same flags always produce the same
-// fault timeline, the same fingerprint, and the same verdict. Exit
+// fault timeline, the same fingerprint, and the same verdict — with or
+// without tracing and event streaming, which are observation-only. Exit
 // status is 0 only if every invariant held.
 package main
 
@@ -22,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"past/internal/experiments"
+	"past/internal/obs"
 )
 
 func main() {
@@ -45,30 +50,88 @@ func main() {
 		verify   = flag.Bool("verify", false, "run the soak twice and require identical fingerprints")
 		resil    = flag.Bool("resilience", false, "enable the client resilience layer (retries, hedged lookups, partial inserts)")
 		compare  = flag.Bool("compare", false, "run the schedule with the resilience layer off and on and compare")
+		trace    = flag.Int("trace", 0, "sample every Nth client operation for a per-hop route trace (0: off)")
+		evOut    = flag.String("events-out", "", "write the structured JSONL event stream to this file")
+		evCheck  = flag.String("check-events", "", "validate a JSONL event stream and print a summary (no soak runs)")
 	)
 	flag.Parse()
 
-	cfg := experiments.SoakConfig{
-		Nodes: *nodes, Files: *files, K: *k, Seed: *seed, Ticks: *ticks,
-		Drop: *drop, Dup: *dup, DelayMS: *delay,
-		ChurnEvery: *churn, DownFor: *downFor,
-		PartitionFrom: *partFrom, PartitionFor: *partFor, PartitionFrac: *partFrac,
-		Resilience: *resil,
-	}
-	if *compare {
-		code, err := runCompare(os.Stdout, cfg)
+	if *evCheck != "" {
+		code, err := checkEvents(os.Stdout, *evCheck)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "past-chaos:", err)
 			os.Exit(2)
 		}
 		os.Exit(code)
 	}
-	code, err := run(os.Stdout, cfg, *events, *verify)
+
+	cfg := experiments.SoakConfig{
+		Nodes: *nodes, Files: *files, K: *k, Seed: *seed, Ticks: *ticks,
+		Drop: *drop, Dup: *dup, DelayMS: *delay,
+		ChurnEvery: *churn, DownFor: *downFor,
+		PartitionFrom: *partFrom, PartitionFor: *partFor, PartitionFrac: *partFrac,
+		Resilience: *resil, TraceEvery: *trace,
+	}
+	var evFile *os.File
+	if *evOut != "" {
+		f, err := os.Create(*evOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "past-chaos:", err)
+			os.Exit(2)
+		}
+		evFile = f
+		cfg.Events = obs.NewEventLog(f)
+	}
+	var code int
+	var err error
+	if *compare {
+		code, err = runCompare(os.Stdout, cfg)
+	} else {
+		code, err = run(os.Stdout, cfg, *events, *verify)
+	}
+	if evFile != nil {
+		if cerr := cfg.Events.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("event log: %w", cerr)
+		}
+		if cerr := evFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Printf("wrote %d events to %s\n", cfg.Events.Count(), *evOut)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "past-chaos:", err)
 		os.Exit(2)
 	}
 	os.Exit(code)
+}
+
+// checkEvents validates a JSONL event stream file and prints a per-kind
+// summary. Exit code 1 signals a malformed stream.
+func checkEvents(w *os.File, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	if err != nil {
+		fmt.Fprintf(w, "CHECK: FAIL — %v (after %d valid events)\n", err, len(evs))
+		return 1, nil
+	}
+	fmt.Fprintf(w, "%s: %d events\n", path, len(evs))
+	byKind := obs.CountByKind(evs)
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-10s %d\n", k, byKind[k])
+	}
+	fmt.Fprintln(w, "CHECK: ok")
+	return 0, nil
 }
 
 // run executes the soak (twice under verify), writes the report, and

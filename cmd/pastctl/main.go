@@ -6,6 +6,7 @@
 //	pastctl -node 127.0.0.1:7001 reclaim <fileId-hex>
 //	pastctl -node 127.0.0.1:7001 exists <fileId-hex>
 //	pastctl -node 127.0.0.1:7001 status
+//	pastctl -node 127.0.0.1:7001 stats
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"past/internal/id"
+	"past/internal/obs"
 	"past/internal/past"
 	"past/internal/topology"
 	"past/internal/transport"
@@ -30,7 +32,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pastctl [-node addr] insert <name> | lookup <fileId> | reclaim <fileId> | exists <fileId> | status")
+		fmt.Fprintln(os.Stderr, "usage: pastctl [-node addr] insert <name> | lookup <fileId> | reclaim <fileId> | exists <fileId> | status | stats")
 		os.Exit(2)
 	}
 
@@ -114,6 +116,30 @@ func runCommand(tr *transport.TCP, node string, k int, args []string) error {
 			s.CacheEntries, s.CacheBytes, s.CacheHits, s.CacheMisses)
 		fmt.Printf("overlay: leaf set %d, routing table %d entries, below-k events %d\n",
 			s.LeafSetSize, s.TableEntries, s.BelowKEvents)
+		return nil
+
+	case "stats":
+		reply, err := tr.InvokeAddr(node, &past.ClientStats{})
+		if err != nil {
+			return err
+		}
+		s := reply.(*past.ClientStatsReply).Stats
+		for _, name := range s.Names() {
+			fmt.Printf("%-32s %d\n", name, s.Counters[name])
+		}
+		if n := s.TotalRPCs(); n > 0 {
+			fmt.Printf("rpc latency (%d samples):\n", n)
+			for i, v := range s.RPCLat {
+				if v == 0 {
+					continue
+				}
+				if b := obs.LatencyBucketBound(i); b < 0 {
+					fmt.Printf("  < +Inf        %d\n", v)
+				} else {
+					fmt.Printf("  < %-11s %d\n", b, v)
+				}
+			}
+		}
 		return nil
 
 	case "reclaim":

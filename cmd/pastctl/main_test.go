@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -120,5 +121,36 @@ func TestRunCommandStatus(t *testing.T) {
 	ct := newClientTransport(t)
 	if err := runCommand(ct, server.Addr(), 0, []string{"status"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCommandStats(t *testing.T) {
+	server, node := startTestNode(t)
+	if _, err := node.Insert(past.InsertSpec{Name: "s", Content: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	ct := newClientTransport(t)
+
+	ro, wo, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = wo
+	statsErr := runCommand(ct, server.Addr(), 0, []string{"stats"})
+	wo.Close()
+	os.Stdout = oldStdout
+	if statsErr != nil {
+		t.Fatal(statsErr)
+	}
+	out, err := io.ReadAll(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{"inserts_total", "store_capacity_bytes", "msgs_in_total"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, s)
+		}
 	}
 }

@@ -11,6 +11,10 @@
 // The node then accepts overlay traffic from peers and client requests
 // from pastctl. The proximity metric is an emulated 2-D coordinate
 // (-x/-y); a deployment would substitute network measurements.
+//
+// With -debug-addr the node additionally serves a plaintext debug
+// endpoint: Prometheus-format metrics at /metrics and the standard
+// net/http/pprof profiling handlers under /debug/pprof/.
 package main
 
 import (
@@ -20,6 +24,9 @@ import (
 	"log"
 	"math"
 	mrand "math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"past/internal/id"
+	"past/internal/obs"
 	"past/internal/past"
 	"past/internal/store"
 	"past/internal/topology"
@@ -52,6 +60,7 @@ func main() {
 		hedge      = flag.Duration("hedge", 0, "hedged lookups: delay before a second attempt races the first through a different first hop (0: off; needs -retries)")
 		hopTimeout = flag.Duration("hop-timeout", 2*time.Second, "per-hop routing RPC timeout before trying an alternate (0: unbounded)")
 		partial    = flag.Bool("partial-insert", false, "accept inserts that stored at least one but fewer than k replicas; maintenance repairs the shortfall")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address (empty: off)")
 	)
 	flag.Parse()
 
@@ -109,6 +118,19 @@ func main() {
 	node := past.NewWithStore(nid, tr, cfg, backend, int64(nid[0])<<8|int64(nid[1]))
 	tr.Serve(node)
 
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("pastd: debug listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, newDebugMux(node)); err != nil {
+				log.Printf("pastd: debug server: %v", err)
+			}
+		}()
+		log.Printf("pastd: debug endpoint on http://%s/ (metrics, pprof)", ln.Addr())
+	}
+
 	if *join == "" {
 		node.Overlay().Bootstrap()
 		log.Printf("pastd: bootstrapped network; node %s listening on %s (capacity %d bytes)",
@@ -147,6 +169,29 @@ func main() {
 			return
 		}
 	}
+}
+
+// newDebugMux builds the debug endpoint: live node metrics in the
+// Prometheus text format at /metrics, the standard pprof handlers under
+// /debug/pprof/, and an index at /.
+func newDebugMux(node *past.Node) *http.ServeMux {
+	mux := http.NewServeMux()
+	labels := map[string]string{"node": node.ID().Short()}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WriteProm(w, node.StatsSnapshot(), labels); err != nil {
+			log.Printf("pastd: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "pastd %s\n/metrics\n/debug/pprof/\n", node.ID().Short())
+	})
+	return mux
 }
 
 // parseSize parses sizes like "512", "64KB", "2MB", "1GB".

@@ -1,6 +1,19 @@
 package main
 
-import "testing"
+import (
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/topology"
+	"past/internal/transport"
+	"past/internal/wire"
+)
 
 func TestParseSize(t *testing.T) {
 	cases := []struct {
@@ -28,5 +41,63 @@ func TestParseSize(t *testing.T) {
 		if !c.ok && err == nil {
 			t.Fatalf("parseSize(%q) succeeded; want error", c.in)
 		}
+	}
+}
+
+// TestDebugMux drives the -debug-addr endpoint: /metrics serves the
+// node's registry in the Prometheus text format and the pprof handlers
+// answer under /debug/pprof/.
+func TestDebugMux(t *testing.T) {
+	wire.RegisterWire()
+	past.RegisterWire()
+	rng := mrand.New(mrand.NewSource(3))
+	var nid id.Node
+	rng.Read(nid[:])
+	tr, err := transport.New(nid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := past.DefaultConfig()
+	cfg.K = 1
+	node := past.New(nid, tr, cfg, 1<<20, 1)
+	tr.Serve(node)
+	node.Overlay().Bootstrap()
+	if _, err := node.Insert(past.InsertSpec{Name: "m", Content: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(newDebugMux(node))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, err %v", resp.StatusCode, err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE past_inserts_total counter",
+		"past_inserts_total{node=\"" + nid.Short() + "\"} 1",
+		"past_store_capacity_bytes",
+		"# TYPE past_rpc_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: status %d", resp.StatusCode)
 	}
 }

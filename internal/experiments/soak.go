@@ -10,6 +10,7 @@ import (
 	"past/internal/id"
 	"past/internal/metrics"
 	"past/internal/netsim"
+	"past/internal/obs"
 	"past/internal/past"
 	"past/internal/stats"
 )
@@ -69,6 +70,20 @@ type SoakConfig struct {
 	// the cluster degrades while faults are active. Zero selects 8;
 	// negative disables the traffic.
 	FaultOps int
+
+	// TraceEvery samples every Nth client operation for a full per-hop
+	// route trace; sampled traces are retained on the result's Tracer
+	// and summarized onto the event log. Zero disables tracing. The
+	// sampler is counter-based (no RNG draws), so the chaos fingerprint
+	// is identical with tracing on or off.
+	TraceEvery int
+
+	// Events, when non-nil, receives the run's structured JSONL event
+	// stream: phase markers, every injected fault, every invariant
+	// violation, per-tick traffic summaries, sampled trace summaries,
+	// and a final run summary. Purely observational — the fingerprint
+	// does not change when a log is attached.
+	Events *obs.EventLog
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -194,6 +209,38 @@ func BuildSoakSchedule(cfg SoakConfig) chaos.Schedule {
 	return sched
 }
 
+// PhaseStats summarizes one phase of a soak run: cluster-wide deltas
+// of the per-node obs registries over the phase, plus the phase's
+// measurement traffic. The registry deltas come from obs.Aggregate over
+// every node's StatsSnapshot at the phase boundaries, so they count the
+// whole emulated system, not just the clients.
+type PhaseStats struct {
+	// Faults is the number of chaos events recorded during the phase.
+	Faults int64
+	// Registry deltas.
+	Reroutes       int64
+	Retries        int64
+	Hedges         int64
+	HedgeWins      int64
+	PartialInserts int64
+	LeafRepairs    int64
+	MsgsOut        int64
+	// Measurement lookups issued during the phase and their successes.
+	Lookups, LookupsOK int
+	// MeanHops is the mean hop count over the phase's successful
+	// lookups (0 when none succeeded).
+	MeanHops float64
+}
+
+// String renders the phase stats as one compact line.
+func (p PhaseStats) String() string {
+	return fmt.Sprintf(
+		"faults=%d reroutes=%d retries=%d hedges=%d (won %d) partial-inserts=%d leaf-repairs=%d msgs=%d lookups=%d/%d mean-hops=%.2f",
+		p.Faults, p.Reroutes, p.Retries, p.Hedges, p.HedgeWins,
+		p.PartialInserts, p.LeafRepairs, p.MsgsOut,
+		p.LookupsOK, p.Lookups, p.MeanHops)
+}
+
 // SoakResult reports one soak run.
 type SoakResult struct {
 	Config   SoakConfig
@@ -226,10 +273,23 @@ type SoakResult struct {
 	FaultLookups, FaultLookupsOK int
 	FaultInserts, FaultInsertsOK int
 
+	// FaultPhase and HealPhase are the per-phase registry deltas: the
+	// fault phase covers the ticks the schedule is active, the heal
+	// phase covers the heal rounds plus the post-heal lookups.
+	FaultPhase, HealPhase PhaseStats
+
+	// Tracer holds the run's sampled route traces when Config.TraceEvery
+	// is set (nil otherwise).
+	Tracer *obs.Tracer
+
 	Collector *metrics.Collector
 
 	// Cluster is the final cluster, for post-mortem inspection.
 	Cluster *past.Cluster
+
+	// hopSum/hopN accumulate route hops of successful measurement
+	// lookups; soakMark samples them for PhaseStats.MeanHops.
+	hopSum, hopN int
 }
 
 // OK reports whether the soak completed with zero invariant violations
@@ -270,9 +330,25 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	// storage-pressure dynamics the other experiments cover.
 	capacity := int64(1) << 26
 	col := metrics.NewCollector(int64(cfg.Nodes)*capacity, cfg.Files/10+1)
-	core.OnFault = col.RecordFault
+	elog := cfg.Events
+	core.OnFault = func(kind string) {
+		col.RecordFault(kind)
+		elog.Emit(obs.Event{Kind: "fault", Tick: core.Tick(), Op: kind})
+	}
 
 	pcfg := pastConfig(cfg.B, cfg.L, cfg.K, 0.1, 0.05, 4, cache.None, col)
+	var tracer *obs.Tracer
+	if cfg.TraceEvery > 0 {
+		tracer = obs.NewTracer(cfg.TraceEvery, 64)
+		tracer.OnTrace = func(tr *obs.Trace) {
+			elog.Emit(obs.Event{
+				Kind: "trace", Tick: core.Tick(), Op: tr.Op,
+				Node: tr.Key.Short(), N: tr.Seq,
+				Hops: tr.RouteHops, OK: tr.OK,
+			})
+		}
+		pcfg.Tracer = tracer
+	}
 	if cfg.Resilience {
 		// BaseDelay 0 (no real sleeps — the emulated network resolves
 		// synchronously) and HedgeDelay 0 (sequential failover hedge)
@@ -301,14 +377,16 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		return nil, fmt.Errorf("experiments: soak cluster: %w", err)
 	}
 
-	res := &SoakResult{Config: cfg, Schedule: sched, Collector: col, Cluster: cluster}
+	res := &SoakResult{Config: cfg, Schedule: sched, Collector: col, Cluster: cluster, Tracer: tracer}
 	checker := &chaos.Checker{K: cfg.K, OnViolation: func(v chaos.Violation) {
 		col.RecordViolation(string(v.Kind))
 		res.Violations = append(res.Violations, v)
+		elog.Emit(obs.Event{Kind: "violation", Tick: core.Tick(), Op: string(v.Kind), Detail: v.String()})
 	}}
 
 	// Seed the file population on a quiet network (the core is not yet
 	// active), so every tracked file had a confirmed, clean insert.
+	elog.Emit(obs.Event{Kind: "phase", Detail: "seed", N: int64(cfg.Files)})
 	var files []id.File
 	sizeRng := stats.NewRand(cfg.Seed ^ 0xF11E)
 	for i := 0; i < cfg.Files; i++ {
@@ -332,6 +410,8 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	// the schedule-driven alive set, so the resilience-on and -off
 	// variants of one schedule issue identical request streams.
 	core.SetActive(true)
+	elog.Emit(obs.Event{Kind: "phase", Detail: "fault", N: int64(cfg.Ticks)})
+	faultStart := soakMark(core, cluster, res)
 	opRng := stats.NewRand(cfg.Seed ^ 0x0B5E)
 	lastLeaf := make(map[id.Node][]id.Node)
 	var pendingRejoin []id.Node
@@ -359,7 +439,17 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		cluster.MaintainAll()
 		checker.CheckDurability(cluster, files, t)
 		soakFaultOps(cluster, core, opRng, files, t, res)
+		elog.Emit(obs.Event{
+			Kind: "tick", Tick: t, N: core.EventCount(),
+			OK: len(res.Violations) == 0,
+			Detail: fmt.Sprintf("lookups %d/%d inserts %d/%d",
+				res.FaultLookupsOK, res.FaultLookups, res.FaultInsertsOK, res.FaultInserts),
+		})
 	}
+	faultEnd := soakMark(core, cluster, res)
+	res.FaultPhase = phaseDelta(faultStart, faultEnd)
+	res.FaultPhase.Lookups = res.FaultLookups
+	res.FaultPhase.LookupsOK = res.FaultLookupsOK
 
 	// Heal: advance past every schedule window, recover all nodes still
 	// down, and re-merge the partitioned minority by re-announcing it to
@@ -369,6 +459,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	if e := sched.End(); e > healTick {
 		healTick = e
 	}
+	elog.Emit(obs.Event{Kind: "phase", Tick: healTick, Detail: "heal", N: int64(cfg.HealRounds)})
 	core.SetTick(healTick)
 	for i := 0; i < core.Len(); i++ {
 		if nid, ok := core.NodeAt(i); ok && !cluster.Alive(nid) {
@@ -421,14 +512,69 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		col.RecordLookup(col.Utilization(), lr.Hops, err == nil && lr.Found, lr.FromCache)
 		if err == nil && lr.Found {
 			res.LookupsOK++
+			res.hopSum += lr.Hops
+			res.hopN++
 		}
 	}
+	healEnd := soakMark(core, cluster, res)
+	res.HealPhase = phaseDelta(faultEnd, healEnd)
+	res.HealPhase.Lookups = len(files)
+	res.HealPhase.LookupsOK = res.LookupsOK
 
 	res.Fingerprint = core.Fingerprint()
 	res.EventCount = core.EventCount()
 	res.Faults = core.Counters()
 	res.Events = core.Events()
+	elog.Emit(obs.Event{
+		Kind: "summary", Tick: finalEpoch, N: res.EventCount, OK: res.OK(),
+		Detail: fmt.Sprintf("fingerprint=%s violations=%d post-heal=%d/%d",
+			res.Fingerprint, len(res.Violations), res.LookupsOK, res.Inserted),
+	})
 	return res, nil
+}
+
+// soakMark samples the cluster-wide observability state at a phase
+// boundary: the aggregate of every node's registry snapshot, the chaos
+// event count, and the result's hop accumulators.
+type soakMarkT struct {
+	snap         obs.Snapshot
+	faults       int64
+	hopSum, hopN int
+}
+
+func soakMark(core *chaos.Core, cluster *past.Cluster, res *SoakResult) soakMarkT {
+	snaps := make([]obs.Snapshot, 0, len(cluster.Nodes))
+	for _, n := range cluster.Nodes {
+		snaps = append(snaps, n.StatsSnapshot())
+	}
+	return soakMarkT{
+		snap:   obs.Aggregate(snaps...),
+		faults: core.EventCount(),
+		hopSum: res.hopSum,
+		hopN:   res.hopN,
+	}
+}
+
+// phaseDelta turns two boundary marks into the phase's PhaseStats.
+// Lookups/LookupsOK are filled by the caller (they are per-phase
+// already, not cumulative registry counters of measurement traffic
+// alone — the registries also count maintenance-driven operations).
+func phaseDelta(from, to soakMarkT) PhaseStats {
+	d := to.snap.Delta(from.snap)
+	ps := PhaseStats{
+		Faults:         to.faults - from.faults,
+		Reroutes:       d.Get(obs.CtrReroutes),
+		Retries:        d.Get(obs.CtrRetries),
+		Hedges:         d.Get(obs.CtrHedges),
+		HedgeWins:      d.Get(obs.CtrHedgeWins),
+		PartialInserts: d.Get(obs.CtrPartialInserts),
+		LeafRepairs:    d.Get(obs.CtrLeafRepairs),
+		MsgsOut:        d.Get(obs.CtrMsgsOut),
+	}
+	if n := to.hopN - from.hopN; n > 0 {
+		ps.MeanHops = float64(to.hopSum-from.hopSum) / float64(n)
+	}
+	return ps
 }
 
 // soakFaultOps issues one tick's measurement traffic: cfg.FaultOps
@@ -451,6 +597,8 @@ func soakFaultOps(cluster *past.Cluster, core *chaos.Core, rng *rand.Rand, files
 		res.FaultLookups++
 		if lr, err := client.Lookup(f); err == nil && lr.Found {
 			res.FaultLookupsOK++
+			res.hopSum += lr.Hops
+			res.hopN++
 		}
 	}
 	client := soakClient(cluster, core, rng)
@@ -544,6 +692,11 @@ func RenderSoak(r *SoakResult) string {
 			r.Collector.Retries(), r.Collector.Hedges(), r.Collector.HedgeWins(),
 			r.Collector.Reroutes(), r.Collector.PartialInserts())
 	}
+	fmt.Fprintf(&b, "  fault phase: %s\n", r.FaultPhase)
+	fmt.Fprintf(&b, "  heal phase:  %s\n", r.HealPhase)
+	if r.Tracer != nil {
+		fmt.Fprintf(&b, "  traces: sampled %d of %d client ops\n", r.Tracer.Sampled(), r.Tracer.Started())
+	}
 	fmt.Fprintf(&b, "  post-heal lookups: %d/%d ok\n", r.LookupsOK, r.Inserted)
 	fmt.Fprintf(&b, "  invariant violations: %d\n", len(r.Violations))
 	for i, v := range r.Violations {
@@ -581,5 +734,12 @@ func RenderSoakComparison(c *SoakComparison) string {
 	delta := c.On.FaultLookupRate() - c.Off.FaultLookupRate()
 	fmt.Fprintf(&b, "  fault-phase lookup success: %.1f%% -> %.1f%% (%+.1f points)\n",
 		100*c.Off.FaultLookupRate(), 100*c.On.FaultLookupRate(), 100*delta)
+	b.WriteString("  per-phase registry deltas (off vs on):\n")
+	phase := func(name string, off, on PhaseStats) {
+		fmt.Fprintf(&b, "    %-5s  off: %s\n", name, off)
+		fmt.Fprintf(&b, "    %-5s  on:  %s\n", "", on)
+	}
+	phase("fault", c.Off.FaultPhase, c.On.FaultPhase)
+	phase("heal", c.Off.HealPhase, c.On.HealPhase)
 	return b.String()
 }

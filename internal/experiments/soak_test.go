@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+
+	"past/internal/obs"
 )
 
 func TestSoakZeroViolations(t *testing.T) {
@@ -154,5 +158,91 @@ func TestBuildSoakScheduleShape(t *testing.T) {
 		if s.Churn[i].At != s2.Churn[i].At {
 			t.Fatal("schedule not deterministic")
 		}
+	}
+}
+
+// TestSoakObservabilityPreservesFingerprint is the determinism
+// guarantee of the observability layer: running the identical schedule
+// with tracing, the stats registry snapshots, and the JSONL event
+// stream all active must reproduce the bare run's fingerprint
+// bit-for-bit — observation draws no RNG and alters no message flow.
+func TestSoakObservabilityPreservesFingerprint(t *testing.T) {
+	base := SoakConfig{Seed: 6, Nodes: 25, Files: 25, Ticks: 8}
+	plain, err := RunSoak(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	observed := base
+	observed.TraceEvery = 2
+	observed.Events = obs.NewEventLog(&buf)
+	r, err := RunSoak(observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := observed.Events.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if r.Fingerprint != plain.Fingerprint {
+		t.Fatalf("tracing+events changed the fingerprint:\n  off %s\n  on  %s",
+			plain.Fingerprint, r.Fingerprint)
+	}
+	if r.Tracer == nil || r.Tracer.Sampled() == 0 {
+		t.Fatal("observed run sampled no traces")
+	}
+
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("emitted event stream does not parse: %v", err)
+	}
+	byKind := obs.CountByKind(evs)
+	if byKind["phase"] < 3 {
+		t.Fatalf("want >=3 phase events (seed, fault, heal), got %d", byKind["phase"])
+	}
+	if byKind["tick"] != base.withDefaults().Ticks {
+		t.Fatalf("want %d tick events, got %d", base.withDefaults().Ticks, byKind["tick"])
+	}
+	if byKind["fault"] == 0 || byKind["trace"] == 0 {
+		t.Fatalf("want fault and trace events, got %v", byKind)
+	}
+	if byKind["summary"] != 1 {
+		t.Fatalf("want exactly one summary event, got %d", byKind["summary"])
+	}
+}
+
+// TestSoakPhaseStats sanity-checks the per-phase registry deltas the
+// comparison report prints.
+func TestSoakPhaseStats(t *testing.T) {
+	r, err := RunSoak(SoakConfig{Seed: 4, Nodes: 25, Files: 25, Ticks: 8, Drop: 0.10, Resilience: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, hp := r.FaultPhase, r.HealPhase
+	if fp.Faults == 0 {
+		t.Fatal("fault phase recorded no chaos events")
+	}
+	if fp.MsgsOut == 0 || hp.MsgsOut == 0 {
+		t.Fatalf("phases recorded no traffic: fault=%d heal=%d msgs", fp.MsgsOut, hp.MsgsOut)
+	}
+	if fp.Lookups != r.FaultLookups || fp.LookupsOK != r.FaultLookupsOK {
+		t.Fatalf("fault phase lookups %d/%d, result says %d/%d",
+			fp.LookupsOK, fp.Lookups, r.FaultLookupsOK, r.FaultLookups)
+	}
+	if hp.Lookups != r.Inserted || hp.LookupsOK != r.LookupsOK {
+		t.Fatalf("heal phase lookups %d/%d, result says %d/%d",
+			hp.LookupsOK, hp.Lookups, r.LookupsOK, r.Inserted)
+	}
+	if hp.LookupsOK > 0 && hp.MeanHops <= 0 {
+		t.Fatal("heal phase mean hops not accumulated")
+	}
+	// The collector and the registry deltas observe the same retries.
+	if got, want := fp.Retries+hp.Retries, r.Collector.Retries(); got != want {
+		t.Fatalf("registry retries %d != collector retries %d", got, want)
+	}
+	out := RenderSoakComparison(&SoakComparison{Off: r, On: r})
+	if !strings.Contains(out, "per-phase registry deltas") || !strings.Contains(out, "mean-hops") {
+		t.Fatalf("comparison report missing per-phase deltas:\n%s", out)
 	}
 }

@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"math"
 	"sync/atomic"
 
 	"past/internal/id"
@@ -54,6 +55,15 @@ type Collector struct {
 
 	Inserts []InsertSample
 	Lookups []LookupSample
+
+	// Per-sample downsampling state (SetSampleCap). A stride of n keeps
+	// every nth offered sample, counted from the first; zero or one keeps
+	// everything.
+	sampleCap    int
+	insertSeen   int64
+	insertStride int64
+	lookupSeen   int64
+	lookupStride int64
 
 	// DivertedSeries is sampled after every insert.
 	DivertedSeries []DivertedPoint
@@ -120,12 +130,54 @@ func (c *Collector) DivertedRatio() float64 {
 	return float64(c.divertedStored) / float64(c.replicasStored)
 }
 
+// SetSampleCap bounds the retained Inserts and Lookups sample slices,
+// which otherwise grow without limit over a long-running soak (one
+// sample per client operation, forever). When the retained count for a
+// series reaches max, the series is compacted to every 2nd sample and
+// the retention stride doubles: from then on only every stride-th
+// offered sample is appended. The scheme is purely counter-based —
+// deterministic, no RNG — and the retained set is always "every
+// stride-th operation from the first", so utilization-axis series keep
+// their shape. Derived figures then describe the retained subsample.
+// max <= 0 (the default) disables capping and retains everything.
+func (c *Collector) SetSampleCap(max int) {
+	c.sampleCap = max
+}
+
+// keepSample reports whether the n-th offered sample (1-based) survives
+// the current stride.
+func keepSample(n, stride int64) bool {
+	if stride <= 1 {
+		return true
+	}
+	return (n-1)%stride == 0
+}
+
+// halve keeps every 2nd element of s, in place, starting with the first.
+func halve[T any](s []T) []T {
+	out := s[:0]
+	for i := 0; i < len(s); i += 2 {
+		out = append(out, s[i])
+	}
+	return out
+}
+
 // RecordInsert adds a client-side insert sample. util should be sampled
 // before the insert executed.
 func (c *Collector) RecordInsert(util float64, size int64, attempts int, ok bool, diverted int) {
-	c.Inserts = append(c.Inserts, InsertSample{
-		Util: util, Size: size, Attempts: attempts, OK: ok, DivertedReplicas: diverted,
-	})
+	c.insertSeen++
+	if c.sampleCap > 0 && c.insertStride == 0 {
+		c.insertStride = 1
+	}
+	if keepSample(c.insertSeen, c.insertStride) {
+		c.Inserts = append(c.Inserts, InsertSample{
+			Util: util, Size: size, Attempts: attempts, OK: ok, DivertedReplicas: diverted,
+		})
+		if c.sampleCap > 0 && len(c.Inserts) >= c.sampleCap {
+			c.Inserts = halve(c.Inserts)
+			c.insertStride *= 2
+		}
+	}
 	c.sinceSample++
 	if c.sinceSample >= c.sampleEvery {
 		c.sinceSample = 0
@@ -134,6 +186,13 @@ func (c *Collector) RecordInsert(util float64, size int64, attempts int, ok bool
 		})
 	}
 }
+
+// InsertsSeen returns how many insert samples were offered (recorded
+// operations, not retained samples).
+func (c *Collector) InsertsSeen() int64 { return c.insertSeen }
+
+// LookupsSeen returns how many lookup samples were offered.
+func (c *Collector) LookupsSeen() int64 { return c.lookupSeen }
 
 // RecordFault counts one injected fault of the given kind (message
 // drop, duplication, partition, churn, ...).
@@ -215,7 +274,18 @@ func (c *Collector) PartialInserts() int64 { return c.partialInserts.Load() }
 
 // RecordLookup adds a client-side lookup sample.
 func (c *Collector) RecordLookup(util float64, hops int, found, fromCache bool) {
+	c.lookupSeen++
+	if c.sampleCap > 0 && c.lookupStride == 0 {
+		c.lookupStride = 1
+	}
+	if !keepSample(c.lookupSeen, c.lookupStride) {
+		return
+	}
 	c.Lookups = append(c.Lookups, LookupSample{Util: util, Hops: hops, Found: found, FromCache: fromCache})
+	if c.sampleCap > 0 && len(c.Lookups) >= c.sampleCap {
+		c.Lookups = halve(c.Lookups)
+		c.lookupStride *= 2
+	}
 }
 
 // InsertTotals summarizes insert outcomes.
@@ -342,8 +412,16 @@ func (c *Collector) LookupsByUtil(buckets int) LookupSeries {
 		if !s.Found {
 			continue
 		}
+		if math.IsNaN(s.Util) {
+			// A NaN utilization (zero-capacity harness, 0/0) converts to
+			// int as an unspecified value; don't let it pollute a bucket.
+			continue
+		}
 		b := int(s.Util * float64(buckets))
 		if b < 0 {
+			// Negative utilization is a harness accounting bug; clamp to
+			// the first bucket rather than corrupting memory-adjacent
+			// buckets via a negative index.
 			b = 0
 		}
 		if b >= buckets {

@@ -168,3 +168,90 @@ func TestFaultAndViolationCounters(t *testing.T) {
 		t.Fatal("Faults() must return a copy")
 	}
 }
+
+func TestSampleCapDownsampling(t *testing.T) {
+	c := NewCollector(1000, 1)
+	c.SetSampleCap(64)
+	for i := 0; i < 1000; i++ {
+		c.RecordLookup(float64(i)/1000, 3, true, false)
+		c.RecordInsert(float64(i)/1000, 10, 1, true, 0)
+	}
+	if c.LookupsSeen() != 1000 || c.InsertsSeen() != 1000 {
+		t.Fatalf("seen = %d/%d; want 1000/1000", c.LookupsSeen(), c.InsertsSeen())
+	}
+	if len(c.Lookups) >= 64 || len(c.Lookups) < 16 {
+		t.Fatalf("retained %d lookup samples; want in [16, 64)", len(c.Lookups))
+	}
+	if len(c.Inserts) >= 64 || len(c.Inserts) < 16 {
+		t.Fatalf("retained %d insert samples; want in [16, 64)", len(c.Inserts))
+	}
+	// The retained set is every stride-th offered sample from the first,
+	// so the utilizations must be evenly strided starting at 0.
+	stride := c.Lookups[1].Util - c.Lookups[0].Util
+	for i := 1; i < len(c.Lookups); i++ {
+		got := c.Lookups[i].Util - c.Lookups[i-1].Util
+		if math.Abs(got-stride) > 1e-9 {
+			t.Fatalf("sample %d: stride %g != %g (not evenly downsampled)", i, got, stride)
+		}
+	}
+	if c.Lookups[0].Util != 0 {
+		t.Fatalf("first retained sample must be the first offered, got util %g", c.Lookups[0].Util)
+	}
+	// DivertedSeries sampling counts offered inserts, not retained ones.
+	if len(c.DivertedSeries) != 1000 {
+		t.Fatalf("DivertedSeries has %d points; want 1000 (one per offered insert)", len(c.DivertedSeries))
+	}
+}
+
+func TestSampleCapDeterministic(t *testing.T) {
+	run := func() []LookupSample {
+		c := NewCollector(1000, 1)
+		c.SetSampleCap(32)
+		for i := 0; i < 500; i++ {
+			c.RecordLookup(float64(i)/500, i%7, i%3 != 0, i%5 == 0)
+		}
+		return c.Lookups
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs retained %d vs %d samples", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleCapDefaultOff(t *testing.T) {
+	c := NewCollector(1000, 1)
+	for i := 0; i < 500; i++ {
+		c.RecordLookup(0.5, 3, true, false)
+	}
+	if len(c.Lookups) != 500 {
+		t.Fatalf("without a cap all %d samples must be retained, got %d", 500, len(c.Lookups))
+	}
+}
+
+func TestLookupsByUtilNaNAndNegative(t *testing.T) {
+	c := NewCollector(0, 1) // zero capacity: Utilization() is 0, but feed samples directly
+	c.RecordLookup(math.NaN(), 9, true, false)
+	c.RecordLookup(-0.5, 2, true, false)
+	c.RecordLookup(0.05, 4, true, true)
+	ls := c.LookupsByUtil(10)
+	// The NaN sample is skipped entirely; the negative one clamps into
+	// bucket 0 alongside the valid 0.05 sample.
+	if ls.Count[0] != 2 {
+		t.Fatalf("bucket 0 count = %d; want 2 (negative clamp + valid sample, NaN skipped)", ls.Count[0])
+	}
+	if got := ls.Hops[0]; got != 3 {
+		t.Fatalf("bucket 0 mean hops = %g; want 3 (the NaN sample's 9 hops must not leak in)", got)
+	}
+	total := 0
+	for _, n := range ls.Count {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("total bucketed samples = %d; want 2", total)
+	}
+}

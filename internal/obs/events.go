@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one line of the structured JSONL event stream the chaos and
+// bench drivers emit: faults injected, invariant violations, per-tick
+// traffic summaries, and sampled route-trace summaries. Fields are
+// fixed (no free-form maps) so the encoding is deterministic and the
+// stream is greppable offline.
+type Event struct {
+	// Kind classifies the event: "fault", "violation", "tick", "trace",
+	// "phase", "experiment", "summary".
+	Kind string `json:"kind"`
+	// Tick is the virtual time of the event, when the emitter has one.
+	Tick int `json:"tick,omitempty"`
+	// Node names the node the event concerns (short id), if any.
+	Node string `json:"node,omitempty"`
+	// Op is the client operation or fault/violation kind.
+	Op string `json:"op,omitempty"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+	// N is the event's primary quantity (a count, a delta, elapsed ms).
+	N int64 `json:"n,omitempty"`
+	// Hops carries a trace summary's hop count.
+	Hops int `json:"hops,omitempty"`
+	// OK carries an operation outcome.
+	OK bool `json:"ok,omitempty"`
+}
+
+// EventLog is a concurrency-safe JSONL writer. A nil *EventLog accepts
+// and discards events, so emitters need no conditionals.
+type EventLog struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int64
+	err error
+}
+
+// NewEventLog writes events to w, one JSON object per line.
+func NewEventLog(w io.Writer) *EventLog {
+	bw := bufio.NewWriter(w)
+	return &EventLog{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit appends one event. The first write error is retained (and
+// reported by Close); later emits are dropped.
+func (l *EventLog) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if err := l.enc.Encode(e); err != nil {
+		l.err = err
+		return
+	}
+	l.n++
+}
+
+// Count returns the number of events written.
+func (l *EventLog) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Close flushes the stream and returns the first write error, if any.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	return l.w.Flush()
+}
+
+// ReadEvents parses a JSONL event stream, failing on the first
+// malformed line (with its line number) — the check `make trace-demo`
+// and the tests run against emitted streams.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return out, fmt.Errorf("obs: events line %d: %w", line, err)
+		}
+		if e.Kind == "" {
+			return out, fmt.Errorf("obs: events line %d: missing kind", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: events: %w", err)
+	}
+	return out, nil
+}
+
+// CountByKind tallies events per kind, for summaries.
+func CountByKind(events []Event) map[string]int {
+	out := make(map[string]int)
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4), every metric prefixed "past_" and carrying
+// the given labels. Counters whose name ends in "_total" are typed
+// counter, the rest gauge; the RPC-latency buckets render as a
+// cumulative histogram past_rpc_latency_seconds. Output order is
+// deterministic (sorted names, sorted label keys).
+func WriteProm(w io.Writer, snap Snapshot, labels map[string]string) error {
+	lab := renderLabels(labels)
+	for _, name := range snap.Names() {
+		typ := "gauge"
+		if strings.HasSuffix(name, "_total") {
+			typ = "counter"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE past_%s %s\npast_%s%s %d\n",
+			name, typ, name, lab, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	if len(snap.RPCLat) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE past_rpc_latency_seconds histogram\n"); err != nil {
+		return err
+	}
+	var cum int64
+	for i, v := range snap.RPCLat {
+		cum += v
+		le := "+Inf"
+		if b := LatencyBucketBound(i); b >= 0 {
+			le = fmt.Sprintf("%g", b.Seconds())
+		}
+		if _, err := fmt.Fprintf(w, "past_rpc_latency_seconds_bucket%s %d\n",
+			renderLabelsExtra(labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "past_rpc_latency_seconds_sum%s %g\npast_rpc_latency_seconds_count%s %d\n",
+		lab, float64(snap.Get(CtrRPCTimeNanos))/1e9, lab, cum)
+	return err
+}
+
+// renderLabels formats {k="v",...} with sorted keys, or "" when empty.
+func renderLabels(labels map[string]string) string {
+	return renderLabelsExtra(labels, "", "")
+}
+
+// renderLabelsExtra renders labels plus one extra pair (appended last,
+// as Prometheus convention places "le").
+func renderLabelsExtra(labels map[string]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if extraK != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -96,6 +96,10 @@ func (n *Node) cacheFile(f id.File, size int64, content []byte) {
 // messages are handled here; everything else (routing, join, pings) is
 // delegated to the Pastry layer.
 func (n *Node) Deliver(from id.Node, msg any) (any, error) {
+	n.st().MsgsIn.Add(1)
+	if s, ok := msg.(netsim.Sized); ok {
+		n.st().BytesIn.Add(int64(s.WireSize()))
+	}
 	switch m := msg.(type) {
 	case *storeReplicaMsg:
 		return n.handleStoreReplica(m), nil
@@ -124,7 +128,7 @@ func (n *Node) Deliver(from id.Node, msg any) (any, error) {
 		return n.handlePointerCheck(m), nil
 	case *divertedHolderLeaving:
 		return n.handleDivertedHolderLeaving(m), nil
-	case *ClientInsert, *ClientLookup, *ClientReclaim, *ClientStatus:
+	case *ClientInsert, *ClientLookup, *ClientReclaim, *ClientStatus, *ClientStats:
 		return n.handleClientRPC(msg)
 	default:
 		return n.overlay.Deliver(from, msg)

@@ -80,6 +80,8 @@ func (n *Node) handleClientRPC(msg any) (any, error) {
 		return &ClientReclaimReply{Found: res.Found, Freed: res.Freed}, nil
 	case *ClientStatus:
 		return &ClientStatusReply{Status: n.Status()}, nil
+	case *ClientStats:
+		return &ClientStatsReply{Stats: n.StatsSnapshot()}, nil
 	}
 	return nil, nil
 }
@@ -124,4 +126,6 @@ func RegisterWire() {
 	gob.Register(&ClientReclaimReply{})
 	gob.Register(&ClientStatus{})
 	gob.Register(&ClientStatusReply{})
+	gob.Register(&ClientStats{})
+	gob.Register(&ClientStatsReply{})
 }

@@ -8,6 +8,7 @@ import (
 	"past/internal/cert"
 	"past/internal/id"
 	"past/internal/netsim"
+	"past/internal/obs"
 	"past/internal/store"
 )
 
@@ -68,6 +69,9 @@ type InsertResult struct {
 	Receipts []*cert.StoreReceipt
 	// Reason describes the failure, if any.
 	Reason string
+	// Trace holds the per-hop route records of the final attempt, when
+	// the operation was sampled by Config.Tracer.
+	Trace []obs.HopRecord
 }
 
 // Insert stores a file on the k nodes whose nodeIds are numerically
@@ -102,9 +106,34 @@ func (n *Node) InsertContext(ctx context.Context, spec InsertSpec) (*InsertResul
 		salt = n.rng.Uint64()
 		n.mu.Unlock()
 	}
+	n.st().Inserts.Add(1)
+	traced := n.cfg.Tracer.ShouldSample()
+	finishTrace := func(res *InsertResult, err error) {
+		if !traced {
+			return
+		}
+		tr := &obs.Trace{Op: "insert"}
+		if err != nil {
+			tr.Err = err.Error()
+		}
+		if res != nil {
+			tr.Key = res.FileID.Key()
+			tr.Hops = res.Trace
+			tr.RouteHops = res.Hops
+			tr.OK = res.OK
+			if !res.OK && res.Reason != "" {
+				tr.Err = res.Reason
+			}
+		}
+		n.cfg.Tracer.Add(tr)
+	}
 
 	res := &InsertResult{}
 	for attempt := 0; attempt <= n.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			// A re-salted retry is a file diversion (section 3.4).
+			n.st().FileDiversions.Add(1)
+		}
 		res.Attempts = attempt + 1
 		var fid id.File
 		var fc *cert.FileCertificate
@@ -112,7 +141,9 @@ func (n *Node) InsertContext(ctx context.Context, spec InsertSpec) (*InsertResul
 			var err error
 			fc, err = spec.Owner.IssueFileCert(spec.Name, spec.Content, k, salt+uint64(attempt), spec.Created)
 			if err != nil {
-				return nil, fmt.Errorf("past: insert %q: %w", spec.Name, err)
+				err = fmt.Errorf("past: insert %q: %w", spec.Name, err)
+				finishTrace(nil, err)
+				return nil, err
 			}
 			fid = fc.FileID
 		} else {
@@ -124,22 +155,38 @@ func (n *Node) InsertContext(ctx context.Context, spec InsertSpec) (*InsertResul
 		type routed struct {
 			reply any
 			hops  int
+			trace []obs.HopRecord
 		}
 		out, err := n.retryLoop(ctx, nil, func(actx context.Context) (any, error) {
-			reply, hops, rerr := n.overlay.RouteContext(actx, fid.Key(), msg)
+			var (
+				reply any
+				hops  int
+				trace []obs.HopRecord
+				rerr  error
+			)
+			if traced {
+				reply, hops, trace, rerr = n.overlay.RouteTracedContext(actx, fid.Key(), msg)
+			} else {
+				reply, hops, rerr = n.overlay.RouteContext(actx, fid.Key(), msg)
+			}
 			if rerr != nil {
 				return nil, rerr
 			}
-			return routed{reply, hops}, nil
+			return routed{reply, hops, trace}, nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("past: insert %q: route: %w", spec.Name, err)
+			err = fmt.Errorf("past: insert %q: route: %w", spec.Name, err)
+			finishTrace(res, err)
+			return nil, err
 		}
 		ir, ok := out.(routed).reply.(*InsertReply)
 		if !ok {
-			return nil, fmt.Errorf("past: insert %q: unexpected reply %T", spec.Name, out.(routed).reply)
+			err = fmt.Errorf("past: insert %q: unexpected reply %T", spec.Name, out.(routed).reply)
+			finishTrace(res, err)
+			return nil, err
 		}
 		res.Hops = out.(routed).hops
+		res.Trace = out.(routed).trace
 		if ir.OK {
 			res.OK = true
 			res.FileDiversions = attempt
@@ -160,9 +207,12 @@ func (n *Node) InsertContext(ctx context.Context, spec InsertSpec) (*InsertResul
 					want = ir.Stored
 				}
 				if err := verifyReceipts(ir.Receipts, fid, want, n.cfg.NodeKeys); err != nil {
-					return nil, fmt.Errorf("past: insert %q: %w", spec.Name, err)
+					err = fmt.Errorf("past: insert %q: %w", spec.Name, err)
+					finishTrace(res, err)
+					return nil, err
 				}
 			}
+			finishTrace(res, nil)
 			return res, nil
 		}
 		res.Reason = ir.Reason
@@ -172,6 +222,7 @@ func (n *Node) InsertContext(ctx context.Context, spec InsertSpec) (*InsertResul
 		}
 	}
 	res.FileDiversions = res.Attempts - 1
+	finishTrace(res, nil)
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"past/internal/id"
+	"past/internal/obs"
 	"past/internal/store"
 )
 
@@ -25,6 +26,9 @@ type LookupResult struct {
 	// through a pointer — the one additional RPC the paper charges to
 	// replica diversion (section 3.3).
 	Indirect bool
+	// Trace holds the per-hop route records of the attempt that produced
+	// this result, when the operation was sampled by Config.Tracer.
+	Trace []obs.HopRecord
 }
 
 // Lookup retrieves the file with the given fileId. Requests are routed
@@ -43,14 +47,16 @@ func (n *Node) Lookup(f id.File) (*LookupResult, error) {
 // exist but the route was cut short), and hedged attempts through a
 // different first hop when the policy enables them.
 func (n *Node) LookupContext(ctx context.Context, f id.File) (*LookupResult, error) {
+	n.st().Lookups.Add(1)
+	traced := n.cfg.Tracer.ShouldSample()
 	pol, hasPol := n.policy()
 	attempt := func(actx context.Context) (any, error) {
 		if !hasPol {
-			return n.lookupOnce(actx, f, id.Node{})
+			return n.lookupOnce(actx, f, id.Node{}, traced)
 		}
 		out, err := n.hedged(actx, pol, f.Key(),
 			func(rctx context.Context, avoid id.Node) (any, error) {
-				return n.lookupOnce(rctx, f, avoid)
+				return n.lookupOnce(rctx, f, avoid, traced)
 			},
 			func(res any) bool {
 				lr, ok := res.(*LookupResult)
@@ -66,27 +72,49 @@ func (n *Node) LookupContext(ctx context.Context, f id.File) (*LookupResult, err
 		return !ok || !lr.Found
 	}, attempt)
 	if err != nil {
+		if traced {
+			n.cfg.Tracer.Add(&obs.Trace{Op: "lookup", Key: f.Key(), Err: err.Error()})
+		}
 		return nil, err
 	}
-	if out == nil {
-		return &LookupResult{Found: false}, nil
+	res, _ := out.(*LookupResult)
+	if res == nil {
+		res = &LookupResult{Found: false}
 	}
-	return out.(*LookupResult), nil
+	if traced {
+		routeHops := res.Hops
+		if res.Indirect {
+			routeHops-- // the pointer chase is not a routing hop
+		}
+		n.cfg.Tracer.Add(&obs.Trace{
+			Op: "lookup", Key: f.Key(),
+			Hops: res.Trace, RouteHops: routeHops, OK: res.Found,
+		})
+	}
+	return res, nil
 }
 
 // lookupOnce performs a single routed lookup attempt. A non-zero avoid
 // is excluded as the first hop (a hedge steering around the primary's
-// entry point).
-func (n *Node) lookupOnce(ctx context.Context, f id.File, avoid id.Node) (*LookupResult, error) {
+// entry point). With traced set, the attempt records its per-hop route
+// into the result.
+func (n *Node) lookupOnce(ctx context.Context, f id.File, avoid id.Node, traced bool) (*LookupResult, error) {
 	var (
 		reply any
 		hops  int
+		trace []obs.HopRecord
 		err   error
 	)
-	if avoid.IsZero() {
-		reply, hops, err = n.overlay.RouteContext(ctx, f.Key(), &LookupMsg{File: f})
-	} else {
-		reply, hops, err = n.overlay.RouteAvoiding(ctx, f.Key(), &LookupMsg{File: f}, avoid)
+	msg := &LookupMsg{File: f}
+	switch {
+	case traced && avoid.IsZero():
+		reply, hops, trace, err = n.overlay.RouteTracedContext(ctx, f.Key(), msg)
+	case traced:
+		reply, hops, trace, err = n.overlay.RouteAvoidingTraced(ctx, f.Key(), msg, avoid)
+	case avoid.IsZero():
+		reply, hops, err = n.overlay.RouteContext(ctx, f.Key(), msg)
+	default:
+		reply, hops, err = n.overlay.RouteAvoiding(ctx, f.Key(), msg, avoid)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("past: lookup %s: %w", f.Short(), err)
@@ -96,7 +124,7 @@ func (n *Node) lookupOnce(ctx context.Context, f id.File, avoid id.Node) (*Looku
 		return nil, fmt.Errorf("past: lookup %s: unexpected reply %T", f.Short(), reply)
 	}
 	if !lr.Found {
-		return &LookupResult{Found: false, Hops: hops}, nil
+		return &LookupResult{Found: false, Hops: hops, Trace: trace}, nil
 	}
 	if n.cfg.VerifyCerts && lr.Cert != nil {
 		if err := lr.Cert.Verify(n.cfg.Issuer, lr.Content); err != nil {
@@ -110,6 +138,7 @@ func (n *Node) lookupOnce(ctx context.Context, f id.File, avoid id.Node) (*Looku
 		FromCache: lr.FromCache,
 		Hops:      hops + lr.ExtraHops,
 		Indirect:  lr.ExtraHops > 0,
+		Trace:     trace,
 	}, nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"past/internal/cert"
 	"past/internal/id"
 	"past/internal/netsim"
+	"past/internal/obs"
 	"past/internal/pastry"
 	"past/internal/store"
 )
@@ -85,6 +86,10 @@ type Config struct {
 	// that replica maintenance settles once the leaf set heals; without
 	// this flag any unreachable member aborts the attempt.
 	PartialInsert bool
+	// Tracer, when non-nil, samples client operations started at this
+	// node (every Nth, deterministically) and records their per-hop
+	// route traces. Nil traces nothing and costs nothing.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's parameters: k=5, tpri=0.1,
@@ -164,6 +169,7 @@ type Node struct {
 	cfg     Config
 	overlay *pastry.Node
 	net     netsim.Net
+	stats   *obs.NodeStats
 
 	mu    sync.Mutex
 	store store.Backend
@@ -194,12 +200,15 @@ func NewWithStore(nid id.Node, net netsim.Net, cfg Config, backend store.Backend
 	cfg = cfg.withDefaults()
 	n := &Node{
 		cfg:   cfg,
-		net:   net,
+		stats: &obs.NodeStats{},
 		store: backend,
 		cache: cache.New(cfg.CachePolicy, cfg.CacheFrac),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
-	n.overlay = pastry.New(nid, net, cfg.Pastry, (*app)(n), seed^0x5eed)
+	// Both layers share the instrumented view of the network, so every
+	// outgoing RPC — routing, maintenance, diversion — is accounted.
+	n.net = obs.InstrumentNet(net, n.stats)
+	n.overlay = pastry.New(nid, n.net, cfg.Pastry, (*app)(n), seed^0x5eed)
 	n.overlay.OnLeafSetChange = n.maintainReplicas
 	n.overlay.OnReroute = func(id.Node) {
 		if rm := n.resMon(); rm != nil {
@@ -278,6 +287,10 @@ func (n *Node) addReplicaLocked(e store.Entry) error {
 	// The replica must not also linger as a cached copy.
 	n.cache.Remove(e.File)
 	n.cache.SetLimit(n.store.Free())
+	n.st().ReplicasStored.Add(1)
+	if e.Kind == store.DivertedIn {
+		n.st().DivertedIn.Add(1)
+	}
 	if n.cfg.Monitor != nil {
 		n.cfg.Monitor.ReplicaStored(e.File, e.Size, e.Kind == store.DivertedIn)
 	}
@@ -292,10 +305,53 @@ func (n *Node) removeReplicaLocked(f id.File) (store.Entry, bool) {
 		return store.Entry{}, false
 	}
 	n.cache.SetLimit(n.store.Free())
+	n.st().ReplicasDropped.Add(1)
 	if n.cfg.Monitor != nil {
 		n.cfg.Monitor.ReplicaDiscarded(e.File, e.Size, e.Kind == store.DivertedIn)
 	}
 	return e, true
+}
+
+// Stats returns the node's live counter registry. It is always present;
+// counting cannot be disabled (single atomic adds on the hot paths).
+func (n *Node) Stats() *obs.NodeStats { return n.st() }
+
+// discardStats absorbs counts from Nodes constructed without
+// NewWithStore (struct literals in tests).
+var discardStats obs.NodeStats
+
+// st returns the node's registry, nil-safely.
+func (n *Node) st() *obs.NodeStats {
+	if n.stats == nil {
+		return &discardStats
+	}
+	return n.stats
+}
+
+// StatsSnapshot returns the full observability snapshot for this node:
+// the registry's counters plus the gauges owned by the store, cache, and
+// overlay. This is what the metrics endpoint, the stats RPC, and the
+// experiment drivers consume.
+func (n *Node) StatsSnapshot() obs.Snapshot {
+	snap := n.st().Snapshot()
+	n.mu.Lock()
+	snap.Set(obs.CtrStoreBytes, n.store.Used())
+	snap.Set(obs.CtrStoreCapacity, n.store.Capacity())
+	snap.Set(obs.CtrStoreReplicas, int64(n.store.Len()))
+	snap.Set(obs.CtrStorePointers, int64(len(n.store.Pointers())))
+	snap.Set(obs.CtrCacheBytes, n.cache.Used())
+	snap.Set(obs.CtrCacheEntries, int64(n.cache.Len()))
+	hits, misses, evictions := n.cache.Stats()
+	snap.Set(obs.CtrCacheHits, hits)
+	snap.Set(obs.CtrCacheMisses, misses)
+	snap.Set(obs.CtrCacheEvictions, evictions)
+	snap.Set(obs.CtrBelowKEvents, n.belowK)
+	n.mu.Unlock()
+	snap.Set(obs.CtrReroutes, n.overlay.Reroutes())
+	snap.Set(obs.CtrLeafRepairs, n.overlay.LeafRepairs())
+	snap.Set(obs.CtrLeafSetSize, int64(len(n.overlay.LeafSet())))
+	snap.Set(obs.CtrTableEntries, int64(n.overlay.TableSize()))
+	return snap
 }
 
 // issueStoreReceipt signs a store receipt if a smartcard is installed.

@@ -116,18 +116,24 @@ func (n *Node) resMon() ResilienceMonitor {
 }
 
 func (n *Node) recordRetry() {
+	n.st().Retries.Add(1)
 	if rm := n.resMon(); rm != nil {
 		rm.RecordRetry()
 	}
 }
 
 func (n *Node) recordHedge(won bool) {
+	n.st().Hedges.Add(1)
+	if won {
+		n.st().HedgeWins.Add(1)
+	}
 	if rm := n.resMon(); rm != nil {
 		rm.RecordHedge(won)
 	}
 }
 
 func (n *Node) recordPartialInsert() {
+	n.st().PartialInserts.Add(1)
 	if rm := n.resMon(); rm != nil {
 		rm.RecordPartialInsert()
 	}

@@ -2,6 +2,7 @@ package past
 
 import (
 	"past/internal/id"
+	"past/internal/obs"
 	"past/internal/store"
 )
 
@@ -69,4 +70,13 @@ type ClientStatus struct{}
 // ClientStatusReply carries it back.
 type ClientStatusReply struct {
 	Status Status
+}
+
+// ClientStats requests a node's full observability snapshot (pastctl
+// stats): every registry counter plus the store/cache/overlay gauges.
+type ClientStats struct{}
+
+// ClientStatsReply carries it back.
+type ClientStatsReply struct {
+	Stats obs.Snapshot
 }

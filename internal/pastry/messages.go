@@ -6,6 +6,7 @@ import (
 
 	"past/internal/id"
 	"past/internal/netsim"
+	"past/internal/obs"
 )
 
 // Wire-visible message types. These are the only values Pastry nodes
@@ -24,6 +25,13 @@ type RouteRequest struct {
 	CollectPath bool
 	Path        []id.Node
 
+	// Traced asks every hop to append its routing decision to Trace —
+	// one record per decision, including failed attempts that forced a
+	// reroute. The consuming node copies the accumulated records into
+	// the reply.
+	Traced bool
+	Trace  []obs.HopRecord
+
 	// JoinCollect asks every hop to contribute routing-table candidates
 	// for a joining node; used only by the join protocol.
 	JoinCollect bool
@@ -36,6 +44,7 @@ type RouteReply struct {
 	Payload any
 	Hops    int
 	Path    []id.Node
+	Trace   []obs.HopRecord
 
 	// Join protocol results: the terminal node's identity and leaf set,
 	// and the routing candidates collected along the path.

@@ -127,7 +127,8 @@ type Node struct {
 	rng    *rand.Rand
 	joined bool
 
-	reroutes atomic.Int64
+	reroutes    atomic.Int64
+	leafRepairs atomic.Int64
 
 	// OnLeafSetChange, if set, is called (without the node lock held)
 	// after any mutation of the leaf set. PAST uses it to re-establish
@@ -189,6 +190,10 @@ func (n *Node) Bootstrap() {
 // Reroutes returns how many next hops this node has presumed failed and
 // routed around since creation.
 func (n *Node) Reroutes() int64 { return n.reroutes.Load() }
+
+// LeafRepairs returns how many CheckLeafSet rounds actually changed the
+// leaf set (dead members dropped or missing neighbors re-learned).
+func (n *Node) LeafRepairs() int64 { return n.leafRepairs.Load() }
 
 // notifyLeafChange invokes the leaf-set callback outside the lock.
 func (n *Node) notifyLeafChange() {

@@ -91,6 +91,7 @@ func (n *Node) CheckLeafSet() (dead []id.Node) {
 		changed = true
 	}
 	if changed {
+		n.leafRepairs.Add(1)
 		n.notifyLeafChange()
 	}
 	return dead

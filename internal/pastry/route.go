@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"past/internal/id"
 	"past/internal/netsim"
+	"past/internal/obs"
 )
 
 // ErrHopLimit reports a route that exceeded the configured hop bound,
@@ -50,6 +52,21 @@ func (n *Node) RouteTraced(key id.Node, payload any) (reply any, hops int, path 
 	return rr.Payload, rr.Hops, rr.Path, nil
 }
 
+// RouteTracedContext is RouteContext with per-hop decision recording:
+// every node on the route appends an obs.HopRecord describing which
+// routing rule chose the hop, the prefix depth, proximity, and RPC
+// latency; failed hop attempts stay in the record with Failed set. On
+// error the records accumulated so far are still returned. Recording is
+// out-of-band: it draws no randomness and alters no routing decision.
+func (n *Node) RouteTracedContext(ctx context.Context, key id.Node, payload any) (reply any, hops int, trace []obs.HopRecord, err error) {
+	req := &RouteRequest{Key: key, Payload: payload, Traced: true}
+	rr, err := n.routeStep(ctx, req)
+	if err != nil {
+		return nil, 0, req.Trace, err
+	}
+	return rr.Payload, rr.Hops, rr.Trace, nil
+}
+
 // FirstHop returns the node this node would forward a message for key to
 // right now (the zero id if it would consume the message itself). Hedged
 // requests use it to steer a second attempt around the primary's entry
@@ -65,38 +82,69 @@ func (n *Node) FirstHop(key id.Node) id.Node { return n.nextHop(key) }
 // origin's Forward upcall is skipped — the primary attempt already ran
 // it locally.
 func (n *Node) RouteAvoiding(ctx context.Context, key id.Node, payload any, avoid ...id.Node) (reply any, hops int, err error) {
+	reply, hops, _, err = n.routeAvoiding(ctx, key, payload, false, avoid)
+	return reply, hops, err
+}
+
+// RouteAvoidingTraced is RouteAvoiding with per-hop decision recording
+// (see RouteTracedContext).
+func (n *Node) RouteAvoidingTraced(ctx context.Context, key id.Node, payload any, avoid ...id.Node) (reply any, hops int, trace []obs.HopRecord, err error) {
+	return n.routeAvoiding(ctx, key, payload, true, avoid)
+}
+
+func (n *Node) routeAvoiding(ctx context.Context, key id.Node, payload any, traced bool, avoid []id.Node) (reply any, hops int, trace []obs.HopRecord, err error) {
 	tried := make(map[id.Node]bool, len(avoid))
 	for _, a := range avoid {
 		if !a.IsZero() {
 			tried[a] = true
 		}
 	}
-	req := &RouteRequest{Key: key, Payload: payload}
+	req := &RouteRequest{Key: key, Payload: payload, Traced: traced}
 	for {
 		if err := netsim.CtxErr(ctx); err != nil {
-			return nil, 0, err
+			return nil, 0, req.Trace, err
 		}
-		next := n.nextHopAvoiding(key, tried)
+		next, choice := n.nextHopChoose(key, tried)
 		if next.IsZero() {
-			return nil, 0, fmt.Errorf("%w: key %s: no first hop outside %d avoided at %s",
+			return nil, 0, req.Trace, fmt.Errorf("%w: key %s: no first hop outside %d avoided at %s",
 				ErrNoRoute, key.Short(), len(tried), n.self.Short())
 		}
+		if len(tried) > 0 {
+			// The preferred entry point was excluded — by the hedge's
+			// avoid set or by an earlier failure on this route.
+			choice = obs.ChoiceReroute
+		}
 		req.Hops = 1
+		var mark int
+		var hopStart time.Time
+		if traced {
+			mark = len(req.Trace)
+			req.Trace = append(req.Trace, n.hopRecord(key, next, choice))
+			hopStart = time.Now()
+		}
 		res, err := n.invokeHop(ctx, next, req)
 		if err != nil && netsim.Retryable(err) && netsim.CtxErr(ctx) == nil && !n.cfg.FailFast {
+			if traced {
+				req.Trace = req.Trace[:mark+1]
+				req.Trace[mark].Failed = true
+				req.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
+			}
 			tried[next] = true
 			n.noteHopFailure(next)
 			continue
 		}
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, req.Trace, err
 		}
 		rr, ok := res.(*RouteReply)
 		if !ok {
-			return nil, 0, fmt.Errorf("pastry: unexpected route reply %T from %s", res, next.Short())
+			return nil, 0, req.Trace, fmt.Errorf("pastry: unexpected route reply %T from %s", res, next.Short())
+		}
+		if traced && mark < len(rr.Trace) {
+			rr.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
 		}
 		n.app.Backward(key, payload, rr.Payload)
-		return rr.Payload, rr.Hops, nil
+		return rr.Payload, rr.Hops, rr.Trace, nil
 	}
 }
 
@@ -155,20 +203,26 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 			return nil, err
 		}
 		if handled {
-			return &RouteReply{Payload: reply, Hops: req.Hops, Path: req.Path}, nil
+			if req.Traced {
+				req.Trace = append(req.Trace, n.localRecord(req.Key))
+			}
+			return &RouteReply{Payload: reply, Hops: req.Hops, Path: req.Path, Trace: req.Trace}, nil
 		}
 	}
 
 	var tried map[id.Node]bool
 	for {
-		next := n.nextHopAvoiding(req.Key, tried)
+		next, choice := n.nextHopChoose(req.Key, tried)
 		if next.IsZero() {
 			// This node is the numerically closest live node it knows of:
 			// consume the message.
+			if req.Traced {
+				req.Trace = append(req.Trace, n.localRecord(req.Key))
+			}
 			if isJoin {
 				st := n.stateReply()
 				return &RouteReply{
-					Hops: req.Hops, Path: req.Path,
+					Hops: req.Hops, Path: req.Path, Trace: req.Trace,
 					Terminal: n.self, Leaf: st.Leaf, Rows: req.Rows,
 				}, nil
 			}
@@ -176,10 +230,22 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 			if err != nil {
 				return nil, err
 			}
-			return &RouteReply{Payload: reply, Hops: req.Hops, Path: req.Path}, nil
+			return &RouteReply{Payload: reply, Hops: req.Hops, Path: req.Path, Trace: req.Trace}, nil
+		}
+		if len(tried) > 0 {
+			// The best candidate was excluded by an earlier failure on
+			// this route: this hop is the repair alternate.
+			choice = obs.ChoiceReroute
 		}
 
 		req.Hops++
+		var mark int
+		var hopStart time.Time
+		if req.Traced {
+			mark = len(req.Trace)
+			req.Trace = append(req.Trace, n.hopRecord(req.Key, next, choice))
+			hopStart = time.Now()
+		}
 		res, err := n.invokeHop(ctx, next, req)
 		if err != nil && netsim.Retryable(err) && !n.cfg.FailFast {
 			if ctxErr := netsim.CtxErr(ctx); ctxErr != nil {
@@ -188,7 +254,13 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 			}
 			// Presumed failed: exclude the hop for this route, evict it
 			// from routing state, repair the slot, and retry with the
-			// next best candidate.
+			// next best candidate. The failed attempt stays in the trace;
+			// anything recorded beyond it belonged to the dead subtree.
+			if req.Traced {
+				req.Trace = req.Trace[:mark+1]
+				req.Trace[mark].Failed = true
+				req.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
+			}
 			req.Hops--
 			if tried == nil {
 				tried = make(map[id.Node]bool)
@@ -204,10 +276,42 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 		if !ok {
 			return nil, fmt.Errorf("pastry: unexpected route reply %T from %s", res, next.Short())
 		}
+		if req.Traced && mark < len(rr.Trace) {
+			// Fill in this hop's RPC latency on the reply's copy of the
+			// trace as it propagates back toward the origin.
+			rr.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
+		}
 		if !isJoin {
 			n.app.Backward(req.Key, req.Payload, rr.Payload)
 		}
 		return rr, nil
+	}
+}
+
+// hopRecord builds the trace record for forwarding a message for key to
+// next under the given routing rule.
+func (n *Node) hopRecord(key, next id.Node, choice string) obs.HopRecord {
+	dist := -1.0
+	if d, ok := n.net.Proximity(n.self, next); ok {
+		dist = d
+	}
+	return obs.HopRecord{
+		From:     n.self,
+		To:       next,
+		Choice:   choice,
+		Prefix:   n.self.SharedPrefix(key, n.cfg.B),
+		Distance: dist,
+	}
+}
+
+// localRecord builds the terminal trace record for a message this node
+// consumed itself.
+func (n *Node) localRecord(key id.Node) obs.HopRecord {
+	return obs.HopRecord{
+		From:   n.self,
+		To:     n.self,
+		Choice: obs.ChoiceLocal,
+		Prefix: n.self.SharedPrefix(key, n.cfg.B),
 	}
 }
 
@@ -246,19 +350,28 @@ func (n *Node) nextHop(key id.Node) id.Node { return n.nextHopAvoiding(key, nil)
 // occasionally made among all valid candidates to defeat
 // repeat-interception.
 func (n *Node) nextHopAvoiding(key id.Node, avoid map[id.Node]bool) id.Node {
+	next, _ := n.nextHopChoose(key, avoid)
+	return next
+}
+
+// nextHopChoose is nextHopAvoiding reporting which routing rule produced
+// the hop (an obs.Choice* label): leaf-set routing, the routing table,
+// the randomized candidate pick, or the rare-case fallback. A zero next
+// hop pairs with ChoiceLocal: this node consumes the message.
+func (n *Node) nextHopChoose(key id.Node, avoid map[id.Node]bool) (id.Node, string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	excluded := func(c id.Node) bool { return avoid != nil && avoid[c] }
 
 	if key == n.self {
-		return id.Node{}
+		return id.Node{}, obs.ChoiceLocal
 	}
 	if n.inLeafRangeLocked(key) {
 		c := n.closestLeafAvoidingLocked(key, excluded)
 		if c == n.self {
-			return id.Node{}
+			return id.Node{}, obs.ChoiceLocal
 		}
-		return c
+		return c, obs.ChoiceLeaf
 	}
 
 	best := n.tableLookupLocked(key)
@@ -267,11 +380,11 @@ func (n *Node) nextHopAvoiding(key id.Node, avoid map[id.Node]bool) id.Node {
 	}
 	if n.cfg.RandomizeP > 0 && n.rng.Float64() < n.cfg.RandomizeP {
 		if c := n.randomValidCandidateLocked(key, excluded); !c.IsZero() {
-			return c
+			return c, obs.ChoiceRandom
 		}
 	}
 	if !best.IsZero() {
-		return best
+		return best, obs.ChoiceTable
 	}
 
 	// Rare case (and the reroute fallback): no usable table entry. Use
@@ -299,7 +412,10 @@ func (n *Node) nextHopAvoiding(key id.Node, avoid map[id.Node]bool) id.Node {
 			fallback, bestPrefix, bestDist = c, p, d
 		}
 	}
-	return fallback
+	if fallback.IsZero() {
+		return fallback, obs.ChoiceLocal
+	}
+	return fallback, obs.ChoiceRare
 }
 
 // candidatesLocked returns the union of leaf set, routing table, and
