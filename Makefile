@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench experiments experiments-full examples soak-compare trace-demo vet fmt clean
+.PHONY: all build test test-race race bench experiments experiments-full examples soak-compare trace-demo fsck-demo vet fmt clean
 
 all: build test
 
@@ -48,6 +48,16 @@ trace-demo:
 	$(GO) run ./cmd/past-chaos -nodes 25 -files 25 -ticks 6 -resilience \
 		-trace 2 -events-out /tmp/past-trace-demo.jsonl
 	$(GO) run ./cmd/past-chaos -check-events /tmp/past-trace-demo.jsonl
+
+# Storage crash demo: soak a log-structured store through kill/truncate/
+# recover cycles (populating it in the process), verify it offline with
+# fsck, then reopen it read-only via a final soak life. Finishes in
+# seconds.
+fsck-demo:
+	rm -rf /tmp/past-fsck-demo
+	$(GO) run ./cmd/past-chaos -crash -crash-lives 4 -crash-ops 300 \
+		-crash-dir /tmp/past-fsck-demo -keep
+	$(GO) run ./cmd/past-state fsck /tmp/past-fsck-demo
 
 examples:
 	$(GO) run ./examples/quickstart

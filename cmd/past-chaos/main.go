@@ -14,6 +14,8 @@
 //	past-chaos -compare                 # same schedule, layer off vs on, side by side
 //	past-chaos -trace 4 -events-out run.jsonl   # trace every 4th op, stream JSONL events
 //	past-chaos -check-events run.jsonl  # validate and summarize an event stream
+//	past-chaos -crash                   # storage crash soak: kill a logstore mid-commit, recover, verify
+//	past-chaos -crash -crash-lives 10 -crash-ops 500 -crash-dir /tmp/ls -keep
 //
 // The run is deterministic: the same flags always produce the same
 // fault timeline, the same fingerprint, and the same verdict — with or
@@ -53,8 +55,23 @@ func main() {
 		trace    = flag.Int("trace", 0, "sample every Nth client operation for a per-hop route trace (0: off)")
 		evOut    = flag.String("events-out", "", "write the structured JSONL event stream to this file")
 		evCheck  = flag.String("check-events", "", "validate a JSONL event stream and print a summary (no soak runs)")
+
+		crash      = flag.Bool("crash", false, "run the storage crash soak instead of the network soak")
+		crashLives = flag.Int("crash-lives", 5, "crash soak: kill/recover cycles")
+		crashOps   = flag.Int("crash-ops", 200, "crash soak: mutations per life")
+		crashDir   = flag.String("crash-dir", "", "crash soak: logstore directory (empty: a fresh temp dir)")
+		keep       = flag.Bool("keep", false, "crash soak: keep the store directory for inspection (e.g. past-state fsck)")
 	)
 	flag.Parse()
+
+	if *crash {
+		code, err := runCrashSoak(os.Stdout, *seed, *crashLives, *crashOps, *crashDir, *keep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "past-chaos:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 
 	if *evCheck != "" {
 		code, err := checkEvents(os.Stdout, *evCheck)

@@ -6,6 +6,14 @@
 // It builds an emulated network with the figure's parameters (b=2, l=8)
 // and prints one node's state, nodeIds rendered as base-2^b digit
 // strings like the figure's base-4 ids.
+//
+// It also carries the offline storage inspector:
+//
+//	past-state fsck <dir>
+//
+// verifies a log-structured store directory (WAL framing and checksums,
+// segment record checksums, checkpoint consistency, orphaned segments)
+// and exits non-zero if it finds corruption.
 package main
 
 import (
@@ -22,6 +30,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		os.Exit(runFsck(os.Args[2:]))
+	}
 	var (
 		n      = flag.Int("n", 64, "number of nodes in the emulated network")
 		b      = flag.Int("b", 2, "bits per digit (the figure uses 2, i.e. base 4)")

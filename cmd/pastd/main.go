@@ -21,6 +21,7 @@ import (
 	"crypto/rand"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	mrand "math/rand"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"past/internal/id"
+	"past/internal/logstore"
 	"past/internal/obs"
 	"past/internal/past"
 	"past/internal/store"
@@ -55,6 +57,14 @@ func main() {
 		leafSet   = flag.Int("l", 32, "Pastry leaf set size")
 		keepalive = flag.Duration("keepalive", 5*time.Second, "leaf-set keep-alive period")
 		seed      = flag.Int64("seed", 0, "node id seed (0: cryptographically random)")
+
+		storeKind  = flag.String("store", "", "storage backend: mem, disk, or log (empty: disk when -data is set, else mem)")
+		syncPolicy = flag.String("sync", "always", "log store durability: always (group commit), interval, or never")
+		syncEvery  = flag.Duration("sync-every", 100*time.Millisecond, "log store: fsync period for -sync=interval")
+		segBytes   = flag.String("segment-bytes", "64MB", "log store: target segment size before rotation")
+		ckptBytes  = flag.String("checkpoint-bytes", "4MB", "log store: WAL bytes between automatic checkpoints (0: disable)")
+		compactR   = flag.Float64("compact-ratio", 0.5, "log store: compact a sealed segment when its live fraction falls below this (negative: disable)")
+		compactEv  = flag.Duration("compact-every", time.Minute, "log store: background compaction scan period (0: disable)")
 
 		retries    = flag.Int("retries", 0, "resilience layer: attempts per client operation, with backoff (0: single attempt, no retry layer)")
 		hedge      = flag.Duration("hedge", 0, "hedged lookups: delay before a second attempt races the first through a different first hop (0: off; needs -retries)")
@@ -105,15 +115,65 @@ func main() {
 			HedgeDelay:  *hedge,
 		}
 	}
+	kind := *storeKind
+	if kind == "" {
+		if *dataDir != "" {
+			kind = "disk"
+		} else {
+			kind = "mem"
+		}
+	}
 	var backend store.Backend
-	if *dataDir != "" {
+	switch kind {
+	case "mem":
+		backend = store.New(capBytes)
+	case "disk":
+		if *dataDir == "" {
+			log.Fatalf("pastd: -store=disk requires -data")
+		}
 		backend, err = store.OpenDisk(*dataDir, capBytes)
 		if err != nil {
 			log.Fatalf("pastd: %v", err)
 		}
 		log.Printf("pastd: persistent storage at %s (%d replicas on disk)", *dataDir, backend.Len())
-	} else {
-		backend = store.New(capBytes)
+	case "log":
+		if *dataDir == "" {
+			log.Fatalf("pastd: -store=log requires -data")
+		}
+		policy, err := logstore.ParseSyncPolicy(*syncPolicy)
+		if err != nil {
+			log.Fatalf("pastd: %v", err)
+		}
+		segTarget, err := parseSize(*segBytes)
+		if err != nil {
+			log.Fatalf("pastd: -segment-bytes: %v", err)
+		}
+		ckpt, err := parseSize(*ckptBytes)
+		if err != nil {
+			log.Fatalf("pastd: -checkpoint-bytes: %v", err)
+		}
+		if ckpt == 0 {
+			ckpt = -1
+		}
+		ls, err := logstore.Open(*dataDir, logstore.Options{
+			Capacity:        capBytes,
+			Sync:            policy,
+			SyncEvery:       *syncEvery,
+			SegmentTarget:   segTarget,
+			CheckpointBytes: ckpt,
+			CompactRatio:    *compactR,
+			CompactEvery:    *compactEv,
+		})
+		if err != nil {
+			log.Fatalf("pastd: %v", err)
+		}
+		st := ls.Stats()
+		log.Printf("pastd: log-structured storage at %s (%d replicas, %d WAL records replayed in %s, %d torn tails truncated, sync=%s)",
+			*dataDir, ls.Len(), st.RecoveredRecords.Load(),
+			time.Duration(st.RecoveryNanos.Load()), st.TornTruncations.Load(), policy)
+		backend = ls
+	default:
+		log.Fatalf("pastd: unknown -store %q (want mem, disk, or log)", kind)
 	}
 	node := past.NewWithStore(nid, tr, cfg, backend, int64(nid[0])<<8|int64(nid[1]))
 	tr.Serve(node)
@@ -163,6 +223,11 @@ func main() {
 			lr := node.Leave()
 			log.Printf("pastd: offloaded %d replicas (%d failed, %d owners notified)",
 				lr.Offloaded, lr.Failed, lr.OwnersNotified)
+			if c, ok := backend.(io.Closer); ok {
+				if err := c.Close(); err != nil {
+					log.Printf("pastd: store close: %v", err)
+				}
+			}
 			if err := tr.Close(); err != nil {
 				log.Printf("pastd: close: %v", err)
 			}

@@ -1,0 +1,40 @@
+package chaos
+
+import "testing"
+
+func TestRunCrashInvariantsHold(t *testing.T) {
+	rep, err := RunCrash(CrashConfig{Dir: t.TempDir() + "/ls", Seed: 1, Lives: 4, OpsPer: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecoveredOK != rep.Lives {
+		t.Fatalf("recovered %d/%d lives", rep.RecoveredOK, rep.Lives)
+	}
+	if !rep.FsckOK {
+		t.Fatal("final fsck failed")
+	}
+	if rep.Ops == 0 || rep.Fingerprint == "" {
+		t.Fatalf("degenerate soak: %+v", rep)
+	}
+}
+
+func TestRunCrashDeterministic(t *testing.T) {
+	a, err := RunCrash(CrashConfig{Dir: t.TempDir() + "/a", Seed: 42, Lives: 3, OpsPer: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrash(CrashConfig{Dir: t.TempDir() + "/b", Seed: 42, Lives: 3, OpsPer: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint || a.Ops != b.Ops || a.Truncated != b.Truncated {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := RunCrash(CrashConfig{Dir: t.TempDir() + "/c", Seed: 43, Lives: 3, OpsPer: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}

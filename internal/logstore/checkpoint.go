@@ -1,0 +1,174 @@
+package logstore
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"past/internal/store"
+)
+
+// checkpointData is the gob-encoded metadata snapshot. WALSeq names the
+// first WAL file recovery must replay: everything in lower-numbered
+// files is already folded into the snapshot.
+type checkpointData struct {
+	Capacity int64
+	WALSeq   uint64
+	Entries  []checkpointEntry
+	Pointers []store.Pointer
+}
+
+// checkpointEntry is one index entry with its content location.
+type checkpointEntry struct {
+	Entry      store.Entry // Content always nil
+	HasContent bool
+	Seg        uint32
+	Off        int64
+	Len        uint32
+	CRC        uint32
+}
+
+// Checkpoint snapshots the metadata index, rotates the WAL, and deletes
+// the superseded WAL files. At most one checkpoint runs at a time;
+// concurrent calls return immediately.
+func (s *Store) Checkpoint() error {
+	if !s.ckptRunning.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer s.ckptRunning.Store(false)
+	return s.checkpoint()
+}
+
+// checkpoint is the uncontended body, also called from Close (where the
+// gate races nothing).
+func (s *Store) checkpoint() error {
+	// Everything the snapshot will claim must be durable first; then
+	// rotation can move the write point to a fresh WAL file. syncMu
+	// keeps a concurrent group-commit leader from fsyncing the file
+	// being swapped out.
+	s.syncMu.Lock()
+	s.log.Lock()
+	if s.log.failed != nil {
+		err := s.log.failed
+		s.log.Unlock()
+		s.syncMu.Unlock()
+		return err
+	}
+	if s.log.seg != nil {
+		if err := s.log.seg.Sync(); err != nil {
+			s.log.Unlock()
+			s.syncMu.Unlock()
+			return fmt.Errorf("logstore: checkpoint segment sync: %w", err)
+		}
+	}
+	if err := s.log.wal.Sync(); err != nil {
+		s.log.Unlock()
+		s.syncMu.Unlock()
+		return fmt.Errorf("logstore: checkpoint WAL sync: %w", err)
+	}
+	s.stats.Fsyncs.Add(1)
+
+	data := checkpointData{Capacity: s.opts.Capacity, WALSeq: s.log.walSeq + 1}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for _, r := range sh.entries {
+			data.Entries = append(data.Entries, checkpointEntry{
+				Entry: r.meta, HasContent: r.hasContent,
+				Seg: r.loc.Seg, Off: r.loc.Off, Len: r.loc.Len, CRC: r.loc.CRC,
+			})
+		}
+		for _, p := range sh.pointers {
+			data.Pointers = append(data.Pointers, p)
+		}
+	}
+
+	newWAL, err := createLogFile(walPath(s.dir, data.WALSeq), walMagic)
+	if err != nil {
+		s.log.Unlock()
+		s.syncMu.Unlock()
+		return fmt.Errorf("logstore: checkpoint rotate: %w", err)
+	}
+	oldWAL, oldSeq := s.log.wal, s.log.walSeq
+	s.log.wal = newWAL
+	s.log.walSeq = data.WALSeq
+	s.log.walOff = fileHeaderSize
+	s.log.walSince = 0
+	durable := s.lsn.Load()
+	s.log.Unlock()
+
+	// Every record up to the rotation point was just fsynced: advance
+	// the group-commit watermark so queued committers return.
+	s.commit.Lock()
+	if durable > s.commit.synced {
+		s.commit.synced = durable
+	}
+	s.commit.cond.Broadcast()
+	s.commit.Unlock()
+	oldWAL.Close()
+	s.syncMu.Unlock()
+
+	if err := writeCheckpointFile(s.dir, &data); err != nil {
+		return err
+	}
+	// The snapshot is durable; WAL files below WALSeq are dead weight.
+	for seq := oldSeq; seq > 0; seq-- {
+		p := walPath(s.dir, seq)
+		if err := os.Remove(p); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				break // older files were already cleaned up
+			}
+			break
+		}
+	}
+	s.stats.Checkpoints.Add(1)
+	return nil
+}
+
+// writeCheckpointFile writes the snapshot via temp-file + fsync +
+// rename, so a crash leaves either the old or the new checkpoint.
+func writeCheckpointFile(dir string, data *checkpointData) error {
+	tmp, err := os.CreateTemp(dir, "checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("logstore: checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("logstore: checkpoint encode: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("logstore: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("logstore: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), checkpointPath(dir)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("logstore: checkpoint rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadCheckpointFile reads and decodes the checkpoint, if present.
+// A missing file returns (nil, nil).
+func loadCheckpointFile(dir string) (*checkpointData, error) {
+	raw, err := os.Open(checkpointPath(dir))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("logstore: open checkpoint: %w", err)
+	}
+	defer raw.Close()
+	var data checkpointData
+	if err := gob.NewDecoder(raw).Decode(&data); err != nil {
+		return nil, fmt.Errorf("logstore: corrupt checkpoint in %s: %w", dir, err)
+	}
+	return &data, nil
+}

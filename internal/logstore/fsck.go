@@ -1,0 +1,287 @@
+package logstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"strings"
+
+	"past/internal/id"
+)
+
+// FsckReport is the result of an offline verification pass over a
+// logstore directory. Errors are hard corruption (fsck exits non-zero
+// on them); Warnings are crash artifacts the engine recovers from
+// (torn tails, content lost to an unsynced crash, orphan segments).
+type FsckReport struct {
+	Dir string
+
+	HasCheckpoint bool
+	WALFiles      int
+	WALRecords    int
+	TornWALFiles  int   // WAL files ending in a torn tail
+	TornWALBytes  int64 // bytes in those tails
+
+	Segments       int
+	SegmentRecords int
+	DeadRecords    int   // valid records no entry references
+	TornSegBytes   int64 // trailing bytes of the active segment that parse as no record
+
+	Entries        int
+	Pointers       int
+	MissingContent int // entries whose content is absent (crash artifact)
+
+	OrphanSegments int // segment files no entry references (not the active one)
+
+	Errors   []string
+	Warnings []string
+}
+
+// OK reports whether the directory is free of corruption.
+func (r *FsckReport) OK() bool { return len(r.Errors) == 0 }
+
+func (r *FsckReport) errf(format string, args ...any) {
+	r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+}
+
+func (r *FsckReport) warnf(format string, args ...any) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as a human-readable summary.
+func (r *FsckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsck %s\n", r.Dir)
+	fmt.Fprintf(&b, "  checkpoint: present=%v\n", r.HasCheckpoint)
+	fmt.Fprintf(&b, "  wal: %d file(s), %d record(s), %d torn tail(s) (%d bytes)\n",
+		r.WALFiles, r.WALRecords, r.TornWALFiles, r.TornWALBytes)
+	fmt.Fprintf(&b, "  segments: %d file(s), %d record(s), %d dead, %d torn tail bytes, %d orphan file(s)\n",
+		r.Segments, r.SegmentRecords, r.DeadRecords, r.TornSegBytes, r.OrphanSegments)
+	fmt.Fprintf(&b, "  index: %d entries, %d pointers, %d missing content\n",
+		r.Entries, r.Pointers, r.MissingContent)
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "  warning: %s\n", w)
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "  ERROR: %s\n", e)
+	}
+	if r.OK() {
+		b.WriteString("  RESULT: OK\n")
+	} else {
+		b.WriteString("  RESULT: CORRUPT\n")
+	}
+	return b.String()
+}
+
+// Fsck verifies a logstore directory without opening it for writing:
+// checkpoint decodability, WAL record framing and checksums, segment
+// record checksums, and the cross-references between the recovered
+// index and the segments. It never modifies the directory.
+func Fsck(dir string) (*FsckReport, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("logstore: fsck %s: %w", dir, err)
+	}
+	r := &FsckReport{Dir: dir}
+
+	// Rebuild the index exactly as recovery would, but read-only.
+	type idxEntry struct {
+		size       int64
+		hasContent bool
+		loc        location
+	}
+	entries := make(map[id.File]idxEntry)
+	pointers := make(map[id.File]struct{})
+
+	ckpt, err := loadCheckpointFile(dir)
+	if err != nil {
+		r.errf("%v", err)
+	}
+	firstSeq := uint64(1)
+	if ckpt != nil {
+		r.HasCheckpoint = true
+		firstSeq = ckpt.WALSeq
+		for _, ce := range ckpt.Entries {
+			entries[ce.Entry.File] = idxEntry{
+				size: ce.Entry.Size, hasContent: ce.HasContent,
+				loc: location{Seg: ce.Seg, Off: ce.Off, Len: ce.Len, CRC: ce.CRC},
+			}
+		}
+		for _, p := range ckpt.Pointers {
+			pointers[p.File] = struct{}{}
+		}
+	}
+
+	seqs, err := listNumbered(dir, "wal-", ".log")
+	if err != nil {
+		return nil, err
+	}
+	var replay []uint64
+	for _, seq := range seqs {
+		if seq >= firstSeq {
+			replay = append(replay, seq)
+		}
+	}
+	if len(replay) == 0 && ckpt == nil {
+		r.warnf("no checkpoint and no WAL: empty or foreign directory")
+	}
+	for i, seq := range replay {
+		isLast := i == len(replay)-1
+		r.WALFiles++
+		path := walPath(dir, seq)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			r.errf("read %s: %v", path, err)
+			continue
+		}
+		if len(data) < fileHeaderSize || string(data[:fileHeaderSize]) != walMagic {
+			if isLast {
+				r.TornWALFiles++
+				r.TornWALBytes += int64(len(data))
+				r.warnf("%s: torn header (crash during WAL creation)", path)
+			} else {
+				r.errf("%s: bad WAL header", path)
+			}
+			continue
+		}
+		off := int64(fileHeaderSize)
+		for {
+			rec, n, ok, derr := nextWALRecord(data, off)
+			if derr != nil {
+				r.errf("%s at offset %d: %v", path, off, derr)
+				break
+			}
+			if !ok {
+				if tail := int64(len(data)) - off; tail > 0 {
+					if isLast {
+						r.TornWALFiles++
+						r.TornWALBytes += tail
+						r.warnf("%s: torn tail, %d bytes after offset %d", path, tail, off)
+					} else {
+						r.errf("%s: invalid record at offset %d in non-final WAL", path, off)
+					}
+				}
+				break
+			}
+			r.WALRecords++
+			switch rec.typ {
+			case recAdd:
+				entries[rec.file] = idxEntry{size: rec.entry.Size, hasContent: rec.hasContent, loc: rec.loc}
+			case recRemove:
+				delete(entries, rec.file)
+			case recSetPointer:
+				pointers[rec.file] = struct{}{}
+			case recRemovePointer:
+				delete(pointers, rec.file)
+			case recRelocate:
+				if e, ok := entries[rec.file]; ok && e.hasContent {
+					e.loc = rec.loc
+					entries[rec.file] = e
+				}
+			}
+			off += n
+		}
+	}
+	r.Entries = len(entries)
+	r.Pointers = len(pointers)
+
+	// Scan segments: structure and checksums of every record, and which
+	// records the index references.
+	segIDs, err := listNumbered(dir, "seg-", ".seg")
+	if err != nil {
+		return nil, err
+	}
+	var active uint32
+	if len(segIDs) > 0 {
+		active = uint32(segIDs[len(segIDs)-1])
+	}
+	segRecords := make(map[uint32]map[int64]bool) // seg -> offset -> crc ok
+	for _, sid64 := range segIDs {
+		sid := uint32(sid64)
+		r.Segments++
+		path := segPath(dir, sid)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			r.errf("read %s: %v", path, err)
+			continue
+		}
+		recs := make(map[int64]bool)
+		segRecords[sid] = recs
+		if len(data) < fileHeaderSize || string(data[:fileHeaderSize]) != segMagic {
+			if sid == active {
+				r.warnf("%s: torn header (crash during segment creation)", path)
+				r.TornSegBytes += int64(len(data))
+			} else {
+				r.errf("%s: bad segment header", path)
+			}
+			continue
+		}
+		off := int64(fileHeaderSize)
+		for off < int64(len(data)) {
+			rest := data[off:]
+			if len(rest) < segRecHeaderSize {
+				r.TornSegBytes += int64(len(rest))
+				if sid != active {
+					r.warnf("%s: %d trailing bytes (dead tail of sealed segment)", path, len(rest))
+				}
+				break
+			}
+			clen := binary.LittleEndian.Uint32(rest[0:])
+			if clen > maxRecordLen || int64(len(rest)-segRecHeaderSize) < int64(clen) {
+				r.TornSegBytes += int64(len(rest))
+				if sid != active {
+					r.warnf("%s: unparseable tail at offset %d in sealed segment", path, off)
+				}
+				break
+			}
+			_, crc, _, content, _ := parseSegRecord(rest[:segRecHeaderSize+int(clen)])
+			recs[off] = crc32Checksum(content) == crc
+			r.SegmentRecords++
+			off += segRecHeaderSize + int64(clen)
+		}
+	}
+
+	// Cross-reference: every entry's content must be a CRC-valid record
+	// at its recorded location. An absent record or short segment is a
+	// crash artifact (the engine serves metadata only); a present record
+	// whose checksum fails is corruption.
+	for f, e := range entries {
+		if !e.hasContent {
+			continue
+		}
+		recs, haveSeg := segRecords[e.loc.Seg]
+		if !haveSeg {
+			r.MissingContent++
+			r.warnf("entry %s: segment %d missing (content lost to crash)", shortFile(f), e.loc.Seg)
+			continue
+		}
+		okCRC, haveRec := recs[e.loc.Off]
+		if !haveRec {
+			r.MissingContent++
+			r.warnf("entry %s: no record at seg %d offset %d (content lost to crash)", shortFile(f), e.loc.Seg, e.loc.Off)
+			continue
+		}
+		if !okCRC {
+			r.errf("entry %s: checksum mismatch at seg %d offset %d", shortFile(f), e.loc.Seg, e.loc.Off)
+		}
+	}
+
+	// Dead records and orphan segments.
+	for sid, recs := range segRecords {
+		refs := 0
+		for _, e := range entries {
+			if e.hasContent && e.loc.Seg == sid {
+				if _, ok := recs[e.loc.Off]; ok {
+					refs++
+				}
+			}
+		}
+		r.DeadRecords += len(recs) - refs
+		if refs == 0 && sid != active {
+			r.OrphanSegments++
+			r.warnf("seg %d: no referenced records (compaction leftover)", sid)
+		}
+	}
+	return r, nil
+}
+
+func shortFile(f id.File) string { return f.Short() }

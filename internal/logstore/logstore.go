@@ -1,0 +1,755 @@
+package logstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"past/internal/id"
+	"past/internal/obs"
+	"past/internal/store"
+)
+
+// SyncPolicy selects when WAL and segment appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways makes every mutation durable before it returns, with
+	// group commit: concurrent committers share one fsync batch.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (Options.SyncEvery); a crash loses
+	// at most the last interval.
+	SyncInterval
+	// SyncNever leaves flushing to the OS (still fsynced at checkpoint
+	// and clean Close). Matches DiskStore's durability, minus its cost.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy parses "always", "interval", or "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("logstore: unknown sync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// Options configures a Store. The zero value of every field selects a
+// sensible default; negative CheckpointBytes or CompactRatio disable
+// the feature.
+type Options struct {
+	// Capacity is the advertised capacity in bytes. Required.
+	Capacity int64
+	// Sync is the durability policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval flush period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentTarget seals the active segment once it exceeds this many
+	// bytes (default 64MB).
+	SegmentTarget int64
+	// CheckpointBytes triggers a background checkpoint once that many
+	// WAL bytes accumulate since the last one (default 4MB; negative
+	// disables automatic checkpoints).
+	CheckpointBytes int64
+	// CompactRatio marks a sealed segment for compaction when its
+	// live-bytes fraction falls below it (default 0.5; negative disables).
+	CompactRatio float64
+	// CompactEvery runs a background compaction scan on this period;
+	// zero (the default) leaves compaction to explicit CompactOnce calls.
+	CompactEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentTarget == 0 {
+		o.SegmentTarget = 64 << 20
+	}
+	if o.CheckpointBytes == 0 {
+		o.CheckpointBytes = 4 << 20
+	}
+	if o.CompactRatio == 0 {
+		o.CompactRatio = 0.5
+	}
+	return o
+}
+
+// nShards is the index shard count; reads lock one shard, so lookups
+// proceed while a commit holds the log mutex.
+const nShards = 16
+
+// entryRec is one live replica in the index: its metadata plus, when
+// content was stored, the segment location.
+type entryRec struct {
+	meta       store.Entry // Content always nil
+	hasContent bool
+	loc        location
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	entries  map[id.File]*entryRec
+	pointers map[id.File]store.Pointer
+}
+
+// Store is the log-structured storage engine. It implements
+// store.Backend and, unlike the in-memory Store and DiskStore, is safe
+// for concurrent use: reads take only a shard read-lock and a segment
+// pread; mutations serialize on the log mutex but fsync outside it, so
+// a slow group commit never blocks readers.
+type Store struct {
+	dir   string
+	opts  Options
+	stats Stats
+
+	used  atomic.Int64
+	count atomic.Int64
+
+	shards [nShards]shard
+
+	// log guards all mutations: WAL/segment appends, index writes, and
+	// the accounting checks that must be atomic with them.
+	log struct {
+		sync.Mutex
+		failed   error // sticky write-path failure; all mutations refuse
+		wal      *os.File
+		walSeq   uint64
+		walOff   int64
+		walSince int64 // WAL bytes since the last checkpoint
+		seg      *os.File
+		segID    uint32
+		segOff   int64
+		segLive  map[uint32]int64 // live record bytes per segment
+		segTotal map[uint32]int64 // total record bytes per segment
+	}
+
+	// lsn counts appended WAL records; the group committer compares it
+	// against the synced watermark.
+	lsn atomic.Uint64
+
+	// segFDs maps segment id -> open file. Readers hold the read lock
+	// across their pread, so compaction cannot close a file mid-read.
+	segFDs struct {
+		sync.RWMutex
+		m map[uint32]*os.File
+	}
+
+	// commit is the group-commit state: the first committer past the
+	// synced watermark becomes the leader and fsyncs for everyone queued
+	// behind it.
+	commit struct {
+		sync.Mutex
+		cond    *sync.Cond
+		synced  uint64
+		syncing bool
+		err     error
+	}
+
+	// syncMu serializes fsync batches against WAL rotation, so a leader
+	// never fsyncs a file the checkpoint just closed.
+	syncMu sync.Mutex
+
+	ckptRunning atomic.Bool
+	closed      atomic.Bool
+	stop        chan struct{}
+	bg          sync.WaitGroup
+}
+
+var (
+	_ store.Backend     = (*Store)(nil)
+	_ obs.CounterSource = (*Store)(nil)
+)
+
+// errClosed is returned by mutations on a closed store.
+var errClosed = fmt.Errorf("logstore: store is closed")
+
+func (s *Store) shardOf(f id.File) *shard { return &s.shards[f[0]%nShards] }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the engine's live counters.
+func (s *Store) Stats() *Stats { return &s.stats }
+
+// ObsCounters implements obs.CounterSource: the engine counters plus
+// the live segment-count gauge.
+func (s *Store) ObsCounters() map[string]int64 {
+	m := s.stats.Counters()
+	s.segFDs.RLock()
+	m[obs.CtrSegments] = int64(len(s.segFDs.m))
+	s.segFDs.RUnlock()
+	return m
+}
+
+// Accounting. Reads are atomic loads; the writes happen under the log
+// mutex, atomically with the WAL append that justifies them.
+
+func (s *Store) Capacity() int64 { return s.opts.Capacity }
+func (s *Store) Used() int64     { return s.used.Load() }
+func (s *Store) Free() int64     { return s.opts.Capacity - s.used.Load() }
+func (s *Store) Len() int        { return int(s.count.Load()) }
+
+// Utilization returns Used/Capacity in [0, 1].
+func (s *Store) Utilization() float64 {
+	if s.opts.Capacity == 0 {
+		return 0
+	}
+	return float64(s.used.Load()) / float64(s.opts.Capacity)
+}
+
+// CanAccept applies the SD/FN acceptance policy (same rules as the
+// in-memory store).
+func (s *Store) CanAccept(size int64, t float64) bool {
+	if size == 0 {
+		return true
+	}
+	if size < 0 {
+		return false
+	}
+	free := s.Free()
+	if free <= 0 {
+		return false
+	}
+	return float64(size)/float64(free) <= t
+}
+
+// Add stores a replica: content appended to the active segment, one
+// WAL record, index insert, then (under SyncAlways) a group commit.
+func (s *Store) Add(e store.Entry) error {
+	if s.closed.Load() {
+		return errClosed
+	}
+	content := e.Content
+	e.Content = nil
+
+	s.log.Lock()
+	if err := s.log.failed; err != nil {
+		s.log.Unlock()
+		return err
+	}
+	sh := s.shardOf(e.File)
+	if _, dup := sh.entries[e.File]; dup {
+		s.log.Unlock()
+		return fmt.Errorf("logstore: %s already held", e.File.Short())
+	}
+	if e.Size < 0 {
+		s.log.Unlock()
+		return fmt.Errorf("logstore: negative size %d", e.Size)
+	}
+	if free := s.opts.Capacity - s.used.Load(); e.Size > free {
+		s.log.Unlock()
+		return fmt.Errorf("logstore: %s needs %d bytes, only %d free", e.File.Short(), e.Size, free)
+	}
+
+	rec := walRecord{typ: recAdd, file: e.File, entry: e}
+	if content != nil {
+		loc, err := s.appendSegmentLocked(e.File, content)
+		if err != nil {
+			s.log.Unlock()
+			return err
+		}
+		rec.hasContent = true
+		rec.loc = loc
+	}
+	lsn, err := s.appendWALLocked(rec)
+	if err != nil {
+		s.log.Unlock()
+		return err
+	}
+
+	r := &entryRec{meta: e, hasContent: rec.hasContent, loc: rec.loc}
+	sh.mu.Lock()
+	sh.entries[e.File] = r
+	sh.mu.Unlock()
+	s.used.Add(e.Size)
+	s.count.Add(1)
+	if rec.hasContent {
+		s.log.segLive[rec.loc.Seg] += rec.loc.recordSize()
+	}
+	ckpt := s.checkpointDueLocked()
+	s.log.Unlock()
+
+	if ckpt {
+		s.kickCheckpoint()
+	}
+	return s.waitDurable(lsn)
+}
+
+// Get returns the entry, reading and CRC-verifying content from its
+// segment. Content that fails verification is withheld (the entry is
+// still returned), so a torn write can never surface corrupt bytes.
+func (s *Store) Get(f id.File) (store.Entry, bool) {
+	sh := s.shardOf(f)
+	sh.mu.RLock()
+	r, ok := sh.entries[f]
+	if !ok {
+		sh.mu.RUnlock()
+		return store.Entry{}, false
+	}
+	e := r.meta
+	hasContent, loc := r.hasContent, r.loc
+	sh.mu.RUnlock()
+
+	if !hasContent {
+		return e, true
+	}
+	// Retry once if the read raced a compaction that moved the record:
+	// the re-fetched location then points into the new segment.
+	for attempt := 0; attempt < 2; attempt++ {
+		if content, ok := s.readContent(f, loc); ok {
+			e.Content = content
+			return e, true
+		}
+		sh.mu.RLock()
+		r, stillThere := sh.entries[f]
+		if !stillThere {
+			sh.mu.RUnlock()
+			return store.Entry{}, false
+		}
+		moved := r.loc != loc
+		loc = r.loc
+		sh.mu.RUnlock()
+		if !moved {
+			break
+		}
+	}
+	return e, true // content lost or corrupt; metadata survives
+}
+
+// readContent preads one content record and verifies frame and CRC.
+// The segFDs read lock is held across the pread so compaction cannot
+// delete the file underneath it.
+func (s *Store) readContent(f id.File, loc location) ([]byte, bool) {
+	s.segFDs.RLock()
+	fd := s.segFDs.m[loc.Seg]
+	if fd == nil {
+		s.segFDs.RUnlock()
+		return nil, false
+	}
+	buf := make([]byte, loc.recordSize())
+	_, err := fd.ReadAt(buf, loc.Off)
+	s.segFDs.RUnlock()
+	if err != nil {
+		s.stats.ChecksumFailures.Add(1)
+		return nil, false
+	}
+	clen, crc, rf, content, perr := parseSegRecord(buf)
+	if perr != nil || rf != f || clen != loc.Len || crc != loc.CRC || crc32Checksum(content) != crc {
+		s.stats.ChecksumFailures.Add(1)
+		return nil, false
+	}
+	return content, true
+}
+
+// Remove discards the replica of f. The content record stays in its
+// segment as dead bytes until compaction reclaims it.
+func (s *Store) Remove(f id.File) (store.Entry, bool) {
+	if s.closed.Load() {
+		return store.Entry{}, false
+	}
+	s.log.Lock()
+	if s.log.failed != nil {
+		s.log.Unlock()
+		return store.Entry{}, false
+	}
+	sh := s.shardOf(f)
+	r, ok := sh.entries[f]
+	if !ok {
+		s.log.Unlock()
+		return store.Entry{}, false
+	}
+	lsn, err := s.appendWALLocked(walRecord{typ: recRemove, file: f})
+	if err != nil {
+		s.log.Unlock()
+		return store.Entry{}, false
+	}
+	sh.mu.Lock()
+	delete(sh.entries, f)
+	sh.mu.Unlock()
+	s.used.Add(-r.meta.Size)
+	s.count.Add(-1)
+	if r.hasContent {
+		s.log.segLive[r.loc.Seg] -= r.loc.recordSize()
+	}
+	s.log.Unlock()
+	_ = s.waitDurable(lsn)
+	return r.meta, true
+}
+
+// SetPointer records and persists a diverted-replica reference.
+func (s *Store) SetPointer(p store.Pointer) {
+	if s.closed.Load() {
+		return
+	}
+	s.log.Lock()
+	if s.log.failed != nil {
+		s.log.Unlock()
+		return
+	}
+	lsn, err := s.appendWALLocked(walRecord{typ: recSetPointer, file: p.File, ptr: p})
+	if err != nil {
+		s.log.Unlock()
+		return
+	}
+	sh := s.shardOf(p.File)
+	sh.mu.Lock()
+	sh.pointers[p.File] = p
+	sh.mu.Unlock()
+	s.log.Unlock()
+	_ = s.waitDurable(lsn)
+}
+
+// GetPointer returns the pointer entry for f.
+func (s *Store) GetPointer(f id.File) (store.Pointer, bool) {
+	sh := s.shardOf(f)
+	sh.mu.RLock()
+	p, ok := sh.pointers[f]
+	sh.mu.RUnlock()
+	return p, ok
+}
+
+// RemovePointer deletes the pointer entry for f.
+func (s *Store) RemovePointer(f id.File) (store.Pointer, bool) {
+	if s.closed.Load() {
+		return store.Pointer{}, false
+	}
+	s.log.Lock()
+	if s.log.failed != nil {
+		s.log.Unlock()
+		return store.Pointer{}, false
+	}
+	sh := s.shardOf(f)
+	p, ok := sh.pointers[f]
+	if !ok {
+		s.log.Unlock()
+		return store.Pointer{}, false
+	}
+	lsn, err := s.appendWALLocked(walRecord{typ: recRemovePointer, file: f})
+	if err != nil {
+		s.log.Unlock()
+		return store.Pointer{}, false
+	}
+	sh.mu.Lock()
+	delete(sh.pointers, f)
+	sh.mu.Unlock()
+	s.log.Unlock()
+	_ = s.waitDurable(lsn)
+	return p, true
+}
+
+// Entries returns all replica entries ordered by fileId (metadata only;
+// use Get for content, as with DiskStore).
+func (s *Store) Entries() []store.Entry {
+	var out []store.Entry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.entries {
+			out = append(out, r.meta)
+		}
+		sh.mu.RUnlock()
+	}
+	sortEntries(out)
+	return out
+}
+
+// Pointers returns all pointer entries ordered by fileId.
+func (s *Store) Pointers() []store.Pointer {
+	var out []store.Pointer
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.pointers {
+			out = append(out, p)
+		}
+		sh.mu.RUnlock()
+	}
+	sortPointers(out)
+	return out
+}
+
+// appendSegmentLocked appends one content record to the active segment,
+// rotating first if the target size is exceeded. Caller holds s.log.
+func (s *Store) appendSegmentLocked(f id.File, content []byte) (location, error) {
+	if s.log.seg == nil || s.log.segOff >= s.opts.SegmentTarget {
+		if err := s.rotateSegmentLocked(); err != nil {
+			return location{}, err
+		}
+	}
+	buf, crc := encodeSegRecord(f, content)
+	if _, err := s.log.seg.WriteAt(buf, s.log.segOff); err != nil {
+		s.log.failed = fmt.Errorf("logstore: segment append: %w", err)
+		return location{}, s.log.failed
+	}
+	loc := location{Seg: s.log.segID, Off: s.log.segOff, Len: uint32(len(content)), CRC: crc}
+	s.log.segOff += int64(len(buf))
+	s.log.segTotal[s.log.segID] += int64(len(buf))
+	return loc, nil
+}
+
+// rotateSegmentLocked seals the active segment and opens the next.
+func (s *Store) rotateSegmentLocked() error {
+	nid := s.log.segID + 1
+	f, err := createLogFile(segPath(s.dir, nid), segMagic)
+	if err != nil {
+		return fmt.Errorf("logstore: new segment: %w", err)
+	}
+	s.log.seg = f
+	s.log.segID = nid
+	s.log.segOff = fileHeaderSize
+	s.segFDs.Lock()
+	s.segFDs.m[nid] = f
+	s.segFDs.Unlock()
+	s.stats.SegRotations.Add(1)
+	return nil
+}
+
+// appendWALLocked frames and appends one record, returning its LSN.
+// A partial write is rolled back by truncation; if even that fails the
+// store is marked failed (the log tail would be garbage).
+func (s *Store) appendWALLocked(r walRecord) (uint64, error) {
+	payload, err := encodeWALPayload(r)
+	if err != nil {
+		return 0, err
+	}
+	buf := frameWALRecord(payload)
+	if _, err := s.log.wal.WriteAt(buf, s.log.walOff); err != nil {
+		if terr := s.log.wal.Truncate(s.log.walOff); terr != nil {
+			s.log.failed = fmt.Errorf("logstore: WAL append failed and truncate failed (%v): %w", terr, err)
+			return 0, s.log.failed
+		}
+		return 0, fmt.Errorf("logstore: WAL append: %w", err)
+	}
+	s.log.walOff += int64(len(buf))
+	s.log.walSince += int64(len(buf))
+	s.stats.WALAppends.Add(1)
+	s.stats.WALBytes.Add(int64(len(buf)))
+	return s.lsn.Add(1), nil
+}
+
+// checkpointDueLocked reports whether the auto-checkpoint threshold has
+// been crossed. Caller holds s.log.
+func (s *Store) checkpointDueLocked() bool {
+	return s.opts.CheckpointBytes > 0 && s.log.walSince >= s.opts.CheckpointBytes
+}
+
+// waitDurable blocks (under SyncAlways) until the record at lsn is
+// fsynced, batching with every other committer in flight: the first
+// waiter past the watermark fsyncs once for all of them.
+func (s *Store) waitDurable(lsn uint64) error {
+	if s.opts.Sync != SyncAlways {
+		return nil
+	}
+	c := &s.commit
+	c.Lock()
+	defer c.Unlock()
+	for c.synced < lsn {
+		if c.err != nil {
+			return c.err
+		}
+		if c.syncing {
+			c.cond.Wait()
+			continue
+		}
+		c.syncing = true
+		c.Unlock()
+		target := s.lsn.Load() // records appended so far are covered
+		err := s.fsyncFiles()
+		c.Lock()
+		c.syncing = false
+		if err != nil {
+			c.err = err
+			c.cond.Broadcast()
+			return err
+		}
+		if target > c.synced {
+			c.synced = target
+		}
+		c.cond.Broadcast()
+	}
+	return nil
+}
+
+// fsyncFiles syncs the active segment, then the WAL — in that order, so
+// the WAL is never durable ahead of content it references. syncMu
+// excludes WAL rotation for the duration.
+func (s *Store) fsyncFiles() error {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	s.log.Lock()
+	wal, seg := s.log.wal, s.log.seg
+	s.log.Unlock()
+	if seg != nil {
+		if err := seg.Sync(); err != nil {
+			return fmt.Errorf("logstore: fsync segment: %w", err)
+		}
+	}
+	if err := wal.Sync(); err != nil {
+		return fmt.Errorf("logstore: fsync WAL: %w", err)
+	}
+	s.stats.Fsyncs.Add(1)
+	return nil
+}
+
+// Sync forces an fsync of the active segment and WAL regardless of
+// policy.
+func (s *Store) Sync() error { return s.fsyncFiles() }
+
+// kickCheckpoint starts an asynchronous checkpoint unless one is
+// already running.
+func (s *Store) kickCheckpoint() {
+	if s.ckptRunning.Load() || s.closed.Load() {
+		return
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		_ = s.Checkpoint()
+	}()
+}
+
+// Close checkpoints (making the next open replay-free), syncs, and
+// closes every file. Safe to call twice.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	s.bg.Wait()
+	err := s.checkpoint()
+	s.closeFiles()
+	return err
+}
+
+// WALOffset returns the append offset in the active WAL file: the
+// durability horizon of the last mutation. Crash-test instrumentation.
+func (s *Store) WALOffset() int64 {
+	s.log.Lock()
+	defer s.log.Unlock()
+	return s.log.walOff
+}
+
+// WALFile returns the active WAL file's path and valid length, so a
+// crash harness can truncate it after Kill. Crash-test instrumentation.
+func (s *Store) WALFile() (string, int64) {
+	s.log.Lock()
+	defer s.log.Unlock()
+	return walPath(s.dir, s.log.walSeq), s.log.walOff
+}
+
+// Kill abandons the store without syncing or checkpointing — the
+// crash-testing hook. On-disk state is whatever the OS was handed;
+// reopening exercises the recovery path.
+func (s *Store) Kill() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.stop)
+	s.bg.Wait()
+	s.closeFiles()
+}
+
+func (s *Store) closeFiles() {
+	s.log.Lock()
+	if s.log.wal != nil {
+		s.log.wal.Close()
+	}
+	s.log.Unlock()
+	s.segFDs.Lock()
+	for _, f := range s.segFDs.m {
+		f.Close()
+	}
+	s.segFDs.m = make(map[uint32]*os.File)
+	s.segFDs.Unlock()
+}
+
+// background runs the interval-sync and periodic-compaction loops.
+func (s *Store) background() {
+	defer s.bg.Done()
+	var syncC, compactC <-chan time.Time
+	if s.opts.Sync == SyncInterval {
+		t := time.NewTicker(s.opts.SyncEvery)
+		defer t.Stop()
+		syncC = t.C
+	}
+	if s.opts.CompactEvery > 0 {
+		t := time.NewTicker(s.opts.CompactEvery)
+		defer t.Stop()
+		compactC = t.C
+	}
+	if syncC == nil && compactC == nil {
+		return
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-syncC:
+			_ = s.fsyncFiles()
+		case <-compactC:
+			for {
+				did, err := s.CompactOnce()
+				if !did || err != nil {
+					break
+				}
+			}
+		}
+	}
+}
+
+// Path helpers.
+
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+func segPath(dir string, seg uint32) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%08d.seg", seg))
+}
+
+func checkpointPath(dir string) string { return filepath.Join(dir, "checkpoint.gob") }
+
+// createLogFile creates a fresh file with the given magic header.
+func createLogFile(path, magic string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Errors are ignored on filesystems that reject directory
+// fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

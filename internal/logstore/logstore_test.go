@@ -1,0 +1,454 @@
+package logstore
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"past/internal/id"
+	"past/internal/store"
+)
+
+func fid(n uint64) id.File { return id.NewFile("f", nil, n) }
+
+func testOpts() Options {
+	return Options{Capacity: 1 << 30, Sync: SyncNever, CheckpointBytes: -1, CompactRatio: -1}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func contentFor(n uint64, size int) []byte {
+	r := rand.New(rand.NewSource(int64(n)))
+	b := make([]byte, size)
+	r.Read(b)
+	return b
+}
+
+func TestAddGetRemove(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOpts())
+	defer s.Close()
+
+	content := contentFor(1, 512)
+	if err := s.Add(store.Entry{File: fid(1), Size: 512, Kind: store.Primary, Content: content}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Get(fid(1))
+	if !ok || !bytes.Equal(e.Content, content) || e.Size != 512 {
+		t.Fatalf("get: ok=%v %+v", ok, e)
+	}
+	if s.Used() != 512 || s.Len() != 1 {
+		t.Fatalf("accounting: used=%d len=%d", s.Used(), s.Len())
+	}
+	if err := s.Add(store.Entry{File: fid(1), Size: 1}); err == nil {
+		t.Fatal("duplicate add succeeded")
+	}
+	if err := s.Add(store.Entry{File: fid(2), Size: -1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, ok := s.Remove(fid(1)); !ok {
+		t.Fatal("remove failed")
+	}
+	if _, ok := s.Get(fid(1)); ok {
+		t.Fatal("entry survived removal")
+	}
+	if s.Used() != 0 || s.Len() != 0 {
+		t.Fatalf("accounting after remove: used=%d len=%d", s.Used(), s.Len())
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	opts := testOpts()
+	opts.Capacity = 100
+	s := mustOpen(t, t.TempDir(), opts)
+	defer s.Close()
+	if err := s.Add(store.Entry{File: fid(1), Size: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(store.Entry{File: fid(2), Size: 30}); err == nil {
+		t.Fatal("over-capacity add succeeded")
+	}
+	if !s.CanAccept(0, 0.1) {
+		t.Fatal("zero-size must always be accepted")
+	}
+	if s.CanAccept(19, 0.5) {
+		t.Fatal("19/20 above threshold 0.5 accepted")
+	}
+	if !s.CanAccept(10, 0.5) {
+		t.Fatal("10/20 at threshold 0.5 rejected")
+	}
+}
+
+// populate adds n entries (content on the even ones) and a pointer per
+// multiple of 5, returning the expected state.
+func populate(t *testing.T, s *Store, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		e := store.Entry{File: fid(uint64(i)), Size: int64(16 + i), Kind: store.Primary}
+		if i%2 == 0 {
+			e.Content = contentFor(uint64(i), 16+i)
+			e.Kind = store.DivertedIn
+			e.Owner = id.NodeFromUint64(uint64(i))
+		}
+		if err := s.Add(e); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			s.SetPointer(store.Pointer{File: fid(uint64(1000 + i)), Target: id.NodeFromUint64(uint64(i)), Size: int64(i), Role: store.Backup})
+		}
+	}
+}
+
+// checkPopulated asserts the state written by populate survived (it
+// does not bound Len, so callers may add entries beyond populate's).
+func checkPopulated(t *testing.T, s *Store, n int) {
+	t.Helper()
+	if s.Len() < n {
+		t.Fatalf("len=%d want >=%d", s.Len(), n)
+	}
+	for i := 1; i <= n; i++ {
+		e, ok := s.Get(fid(uint64(i)))
+		if !ok || e.Size != int64(16+i) {
+			t.Fatalf("entry %d: ok=%v %+v", i, ok, e)
+		}
+		if i%2 == 0 {
+			if !bytes.Equal(e.Content, contentFor(uint64(i), 16+i)) {
+				t.Fatalf("entry %d content mismatch", i)
+			}
+			if e.Kind != store.DivertedIn || e.Owner != id.NodeFromUint64(uint64(i)) {
+				t.Fatalf("entry %d metadata: %+v", i, e)
+			}
+		}
+		if i%5 == 0 {
+			p, ok := s.GetPointer(fid(uint64(1000 + i)))
+			if !ok || p.Target != id.NodeFromUint64(uint64(i)) || p.Role != store.Backup {
+				t.Fatalf("pointer %d: ok=%v %+v", i, ok, p)
+			}
+		}
+	}
+}
+
+func TestReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	populate(t, s, 40)
+	entries, pointers := s.Entries(), s.Pointers()
+	used := s.Used()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	checkPopulated(t, s2, 40)
+	if s2.Used() != used {
+		t.Fatalf("used=%d want %d", s2.Used(), used)
+	}
+	if !reflect.DeepEqual(s2.Entries(), entries) {
+		t.Fatal("Entries() differ after reopen")
+	}
+	if !reflect.DeepEqual(s2.Pointers(), pointers) {
+		t.Fatal("Pointers() differ after reopen")
+	}
+}
+
+func TestReopenWithoutCloseReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	populate(t, s, 25)
+	s.Remove(fid(3))
+	s.RemovePointer(fid(1005))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill() // no checkpoint: recovery must replay the WAL
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if s2.Len() != 24 {
+		t.Fatalf("len=%d want 24", s2.Len())
+	}
+	if _, ok := s2.Get(fid(3)); ok {
+		t.Fatal("removed entry resurrected")
+	}
+	if _, ok := s2.GetPointer(fid(1005)); ok {
+		t.Fatal("removed pointer resurrected")
+	}
+	if s2.Stats().RecoveredRecords.Load() == 0 {
+		t.Fatal("no WAL records replayed")
+	}
+}
+
+func TestCheckpointShortensRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	populate(t, s, 30)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().Checkpoints.Load(); got != 1 {
+		t.Fatalf("checkpoints=%d", got)
+	}
+	// Post-checkpoint mutations land in the fresh WAL.
+	if err := s.Add(store.Entry{File: fid(99), Size: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	checkPopulated(t, s2, 30)
+	if _, ok := s2.Get(fid(99)); !ok {
+		t.Fatal("post-checkpoint add lost")
+	}
+	// Only the post-checkpoint records should have been replayed.
+	if n := s2.Stats().RecoveredRecords.Load(); n != 1 {
+		t.Fatalf("replayed %d records, want 1", n)
+	}
+}
+
+func TestSegmentRotationAndGet(t *testing.T) {
+	opts := testOpts()
+	opts.SegmentTarget = 4096 // force frequent rotation
+	s := mustOpen(t, t.TempDir(), opts)
+	defer s.Close()
+	for i := 1; i <= 30; i++ {
+		c := contentFor(uint64(i), 700)
+		if err := s.Add(store.Entry{File: fid(uint64(i)), Size: 700, Content: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().SegRotations.Load() < 4 {
+		t.Fatalf("rotations=%d, want several", s.Stats().SegRotations.Load())
+	}
+	for i := 1; i <= 30; i++ {
+		e, ok := s.Get(fid(uint64(i)))
+		if !ok || !bytes.Equal(e.Content, contentFor(uint64(i), 700)) {
+			t.Fatalf("entry %d unreadable after rotation", i)
+		}
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	opts := testOpts()
+	opts.SegmentTarget = 4096
+	opts.CompactRatio = 0.5
+	dir := t.TempDir()
+	s := mustOpen(t, dir, opts)
+	for i := 1; i <= 40; i++ {
+		c := contentFor(uint64(i), 600)
+		if err := s.Add(store.Entry{File: fid(uint64(i)), Size: 600, Content: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill most entries so sealed segments drop below the live threshold.
+	for i := 1; i <= 40; i++ {
+		if i%4 != 0 {
+			s.Remove(fid(uint64(i)))
+		}
+	}
+	compacted := 0
+	for {
+		did, err := s.CompactOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !did {
+			break
+		}
+		compacted++
+	}
+	if compacted == 0 {
+		t.Fatal("nothing compacted")
+	}
+	if s.Stats().Compactions.Load() != int64(compacted) {
+		t.Fatal("compaction counter mismatch")
+	}
+	// Survivors still readable, through relocation.
+	for i := 4; i <= 40; i += 4 {
+		e, ok := s.Get(fid(uint64(i)))
+		if !ok || !bytes.Equal(e.Content, contentFor(uint64(i), 600)) {
+			t.Fatalf("entry %d lost by compaction", i)
+		}
+	}
+	// And across a restart: relocate records must be in the WAL.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, opts)
+	defer s2.Close()
+	for i := 4; i <= 40; i += 4 {
+		e, ok := s2.Get(fid(uint64(i)))
+		if !ok || !bytes.Equal(e.Content, contentFor(uint64(i), 600)) {
+			t.Fatalf("entry %d lost after compaction+restart", i)
+		}
+	}
+	r, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("fsck after compaction:\n%s", r)
+	}
+}
+
+func TestEntriesSortedAndMatchBackendSemantics(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOpts())
+	defer s.Close()
+	ref := store.New(1 << 30)
+	for i := 1; i <= 20; i++ {
+		e := store.Entry{File: fid(uint64(i)), Size: int64(i)}
+		if err := s.Add(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := s.Entries(), ref.Entries()
+	if len(got) != len(want) {
+		t.Fatalf("len %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].File != want[i].File || got[i].Size != want[i].Size {
+			t.Fatalf("order mismatch at %d: %v vs %v", i, got[i].File.Short(), want[i].File.Short())
+		}
+	}
+}
+
+func TestObsCounters(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOpts())
+	defer s.Close()
+	if err := s.Add(store.Entry{File: fid(1), Size: 5, Content: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	m := s.ObsCounters()
+	if m["logstore_wal_appends_total"] != 1 {
+		t.Fatalf("wal appends counter: %v", m)
+	}
+	if m["logstore_segments"] != 1 {
+		t.Fatalf("segments gauge: %v", m)
+	}
+}
+
+func TestFsckDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	populate(t, s, 10)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("clean store flagged:\n%s", r)
+	}
+
+	// Flip a content byte inside a referenced segment record.
+	segs, err := listNumbered(dir, "seg-", ".seg")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	path := segPath(dir, uint32(segs[0]))
+	data, err := readFileForTest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := writeFileForTest(path, data); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK() {
+		t.Fatalf("corruption not detected:\n%s", r)
+	}
+}
+
+func TestGetWithholdsCorruptContent(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	c := contentFor(7, 256)
+	if err := s.Add(store.Entry{File: fid(7), Size: 256, Content: c}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored content on disk, then reopen.
+	segs, _ := listNumbered(dir, "seg-", ".seg")
+	path := segPath(dir, uint32(segs[0]))
+	data, err := readFileForTest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x55
+	if err := writeFileForTest(path, data); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	e, ok := s2.Get(fid(7))
+	if !ok {
+		t.Fatal("metadata must survive content corruption")
+	}
+	if e.Content != nil {
+		t.Fatal("corrupt content surfaced")
+	}
+	if s2.Stats().ChecksumFailures.Load() == 0 {
+		t.Fatal("checksum failure not counted")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"never", SyncNever}} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("%s: %v %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("round-trip %s -> %s", tc.in, got)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestClosedStoreRefusesMutations(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, testOpts())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(store.Entry{File: fid(1), Size: 1}); err == nil {
+		t.Fatal("add on closed store succeeded")
+	}
+	if _, ok := s.Remove(fid(1)); ok {
+		t.Fatal("remove on closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double close must be a no-op")
+	}
+}
+
+func readFileForTest(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeFileForTest(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

@@ -1,0 +1,328 @@
+package logstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"past/internal/id"
+	"past/internal/store"
+)
+
+// Open opens (or creates) a log store at dir: load the last checkpoint,
+// replay the WAL over it, truncate torn tails, rebuild the segment
+// accounting, and resume appending. A node restarted on its directory
+// comes back with exactly the metadata and content that were durable at
+// the crash.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Capacity < 0 {
+		return nil, fmt.Errorf("logstore: negative capacity")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("logstore: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, opts: opts, stop: make(chan struct{})}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[id.File]*entryRec)
+		s.shards[i].pointers = make(map[id.File]store.Pointer)
+	}
+	s.segFDs.m = make(map[uint32]*os.File)
+	s.log.segLive = make(map[uint32]int64)
+	s.log.segTotal = make(map[uint32]int64)
+	s.commit.cond = sync.NewCond(&s.commit.Mutex)
+
+	start := time.Now()
+	if err := s.recover(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	s.stats.RecoveryNanos.Store(time.Since(start).Nanoseconds())
+
+	s.bg.Add(1)
+	go s.background()
+	return s, nil
+}
+
+// recover rebuilds the in-memory state from disk. Runs single-threaded
+// before the store is visible, so it mutates the index without locks.
+func (s *Store) recover() error {
+	ckpt, err := loadCheckpointFile(s.dir)
+	if err != nil {
+		return err
+	}
+	firstSeq := uint64(1)
+	if ckpt != nil {
+		firstSeq = ckpt.WALSeq
+		for _, ce := range ckpt.Entries {
+			e := ce.Entry
+			e.Content = nil
+			s.applyAdd(e, ce.HasContent, location{Seg: ce.Seg, Off: ce.Off, Len: ce.Len, CRC: ce.CRC})
+		}
+		for _, p := range ckpt.Pointers {
+			s.shardOf(p.File).pointers[p.File] = p
+		}
+	}
+
+	seqs, err := listNumbered(s.dir, "wal-", ".log")
+	if err != nil {
+		return err
+	}
+	var replaySeqs []uint64
+	for _, seq := range seqs {
+		if seq < firstSeq {
+			// Superseded by the checkpoint; a crash interrupted cleanup.
+			os.Remove(walPath(s.dir, seq))
+			continue
+		}
+		replaySeqs = append(replaySeqs, seq)
+	}
+
+	lastOff := int64(fileHeaderSize)
+	lastSeq := firstSeq
+	if len(replaySeqs) == 0 {
+		wal, err := createLogFile(walPath(s.dir, firstSeq), walMagic)
+		if err != nil {
+			return fmt.Errorf("logstore: create WAL: %w", err)
+		}
+		s.log.wal = wal
+	} else {
+		for i, seq := range replaySeqs {
+			isLast := i == len(replaySeqs)-1
+			n, validLen, torn, err := s.replayWALFile(walPath(s.dir, seq), isLast)
+			if err != nil {
+				return err
+			}
+			s.stats.RecoveredRecords.Add(int64(n))
+			if torn {
+				s.stats.TornTruncations.Add(1)
+			}
+			if isLast {
+				lastSeq, lastOff = seq, validLen
+			}
+		}
+		wal, err := os.OpenFile(walPath(s.dir, lastSeq), os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("logstore: reopen WAL: %w", err)
+		}
+		s.log.wal = wal
+	}
+	s.log.walSeq = lastSeq
+	s.log.walOff = lastOff
+	s.log.walSince = lastOff - fileHeaderSize
+
+	return s.recoverSegments()
+}
+
+// applyAdd inserts an entry during recovery, replacing any previous
+// version (replay is idempotent that way) and keeping the accounting
+// consistent.
+func (s *Store) applyAdd(e store.Entry, hasContent bool, loc location) {
+	sh := s.shardOf(e.File)
+	if old, ok := sh.entries[e.File]; ok {
+		s.used.Add(-old.meta.Size)
+		s.count.Add(-1)
+	}
+	sh.entries[e.File] = &entryRec{meta: e, hasContent: hasContent, loc: loc}
+	s.used.Add(e.Size)
+	s.count.Add(1)
+}
+
+// applyRecord folds one replayed WAL record into the index.
+func (s *Store) applyRecord(r walRecord) {
+	sh := s.shardOf(r.file)
+	switch r.typ {
+	case recAdd:
+		s.applyAdd(r.entry, r.hasContent, r.loc)
+	case recRemove:
+		if old, ok := sh.entries[r.file]; ok {
+			delete(sh.entries, r.file)
+			s.used.Add(-old.meta.Size)
+			s.count.Add(-1)
+		}
+	case recSetPointer:
+		sh.pointers[r.file] = r.ptr
+	case recRemovePointer:
+		delete(sh.pointers, r.file)
+	case recRelocate:
+		if e, ok := sh.entries[r.file]; ok && e.hasContent {
+			e.loc = r.loc
+		}
+	}
+}
+
+// replayWALFile replays one WAL file. On the last file a torn tail —
+// short header, short payload, impossible length, or CRC mismatch — is
+// truncated away; anywhere else it is corruption and recovery fails.
+func (s *Store) replayWALFile(path string, isLast bool) (records int, validLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("logstore: read WAL: %w", err)
+	}
+	if len(data) < fileHeaderSize || string(data[:fileHeaderSize]) != walMagic {
+		if !isLast {
+			return 0, 0, false, fmt.Errorf("logstore: %s: bad WAL header", path)
+		}
+		// The file creation itself was torn; reset it.
+		f, cerr := createLogFile(path, walMagic)
+		if cerr != nil {
+			return 0, 0, false, fmt.Errorf("logstore: reset torn WAL: %w", cerr)
+		}
+		f.Close()
+		return 0, fileHeaderSize, true, nil
+	}
+	off := int64(fileHeaderSize)
+	for {
+		rec, n, ok, derr := nextWALRecord(data, off)
+		if derr != nil {
+			return records, off, false, fmt.Errorf("logstore: %s at offset %d: %w", path, off, derr)
+		}
+		if !ok {
+			tail := int64(len(data)) > off
+			if tail {
+				if !isLast {
+					return records, off, false, fmt.Errorf("logstore: %s: invalid record at offset %d in non-final WAL", path, off)
+				}
+				if terr := os.Truncate(path, off); terr != nil {
+					return records, off, false, fmt.Errorf("logstore: truncate torn WAL tail: %w", terr)
+				}
+			}
+			return records, off, tail, nil
+		}
+		s.applyRecord(rec)
+		records++
+		off += n
+	}
+}
+
+// nextWALRecord parses the record at off. ok=false means the bytes at
+// off do not form a complete valid record (torn tail or corruption —
+// the caller decides which). A decode failure on a CRC-valid payload is
+// a hard error.
+func nextWALRecord(data []byte, off int64) (rec walRecord, n int64, ok bool, err error) {
+	rest := data[off:]
+	if len(rest) < recHeaderSize {
+		return rec, 0, false, nil
+	}
+	plen := binary.LittleEndian.Uint32(rest[0:])
+	crc := binary.LittleEndian.Uint32(rest[4:])
+	if plen > maxRecordLen || int64(len(rest)-recHeaderSize) < int64(plen) {
+		return rec, 0, false, nil
+	}
+	payload := rest[recHeaderSize : recHeaderSize+int(plen)]
+	if crc32Checksum(payload) != crc {
+		return rec, 0, false, nil
+	}
+	rec, derr := decodeWALPayload(payload)
+	if derr != nil {
+		return rec, 0, false, derr
+	}
+	return rec, recHeaderSize + int64(plen), true, nil
+}
+
+// recoverSegments opens every segment file, rebuilds the live/total
+// accounting from the recovered index, and trims the active segment:
+// bytes past the last live record are either dead or torn, and the
+// write point must never overlap a referenced offset.
+func (s *Store) recoverSegments() error {
+	ids, err := listNumbered(s.dir, "seg-", ".seg")
+	if err != nil {
+		return err
+	}
+	sizes := make(map[uint32]int64, len(ids))
+	for _, sid64 := range ids {
+		sid := uint32(sid64)
+		f, err := os.OpenFile(segPath(s.dir, sid), os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("logstore: open segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("logstore: stat segment: %w", err)
+		}
+		s.segFDs.m[sid] = f
+		size := st.Size()
+		if size < fileHeaderSize {
+			size = fileHeaderSize // torn creation; no records can be valid
+		}
+		sizes[sid] = size
+		s.log.segTotal[sid] = size - fileHeaderSize
+	}
+
+	// Live bytes and high-water marks from the index.
+	maxEnd := make(map[uint32]int64)
+	for i := range s.shards {
+		for _, r := range s.shards[i].entries {
+			if !r.hasContent {
+				continue
+			}
+			s.log.segLive[r.loc.Seg] += r.loc.recordSize()
+			if end := r.loc.Off + r.loc.recordSize(); end > maxEnd[r.loc.Seg] {
+				maxEnd[r.loc.Seg] = end
+			}
+		}
+	}
+
+	if len(ids) == 0 {
+		return nil // first segment is created on the first content append
+	}
+	active := uint32(ids[len(ids)-1])
+	s.log.seg = s.segFDs.m[active]
+	s.log.segID = active
+	end := maxEnd[active]
+	if end < fileHeaderSize {
+		end = fileHeaderSize
+	}
+	switch size := sizes[active]; {
+	case size > end:
+		// Tail bytes past the last live record: dead records or a torn
+		// append whose WAL record did not survive. Either way they are
+		// unreferenced — reclaim them so new appends cannot collide.
+		if err := s.log.seg.Truncate(end); err != nil {
+			return fmt.Errorf("logstore: trim active segment: %w", err)
+		}
+		s.stats.TornTruncations.Add(1)
+		s.log.segTotal[active] = end - fileHeaderSize
+		s.log.segOff = end
+	case size < end:
+		// Referenced content is missing (the segment fsync lost the
+		// race with the crash). The affected reads fail their CRC and
+		// return metadata only; seal the segment so the lost range is
+		// never overwritten with new records.
+		s.stats.TornTruncations.Add(1)
+		s.log.segOff = s.opts.SegmentTarget // forces rotation on next append
+	default:
+		s.log.segOff = size
+	}
+	return nil
+}
+
+// listNumbered returns the sorted numeric suffixes of dir entries named
+// <prefix><number><suffix>.
+func listNumbered(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("logstore: list %s: %w", dir, err)
+	}
+	var out []uint64
+	for _, de := range entries {
+		name := de.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		n, err := strconv.ParseUint(mid, 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package logstore
+
+import (
+	"sync/atomic"
+
+	"past/internal/obs"
+)
+
+// Stats is the engine's live counter set. Every field is a single
+// atomic, cheap enough to stay on permanently; the obs layer folds them
+// into node snapshots through the obs.CounterSource interface.
+type Stats struct {
+	WALAppends atomic.Int64 // WAL records written
+	WALBytes   atomic.Int64 // WAL bytes written (frames included)
+	Fsyncs     atomic.Int64 // fsync batches issued (group commit counts one per batch)
+
+	Checkpoints    atomic.Int64 // checkpoints written
+	Compactions    atomic.Int64 // segments compacted away
+	CompactedBytes atomic.Int64 // dead bytes reclaimed by compaction
+	SegRotations   atomic.Int64 // segment files opened
+
+	TornTruncations  atomic.Int64 // torn tails truncated during recovery
+	RecoveredRecords atomic.Int64 // WAL records replayed at open
+	RecoveryNanos    atomic.Int64 // wall time of the last recovery
+	ChecksumFailures atomic.Int64 // content reads rejected by CRC or framing
+}
+
+// Counters returns the stats as obs-named counters; the segments gauge
+// is added by the Store, which owns the segment table.
+func (s *Stats) Counters() map[string]int64 {
+	return map[string]int64{
+		obs.CtrWALAppends:       s.WALAppends.Load(),
+		obs.CtrWALBytes:         s.WALBytes.Load(),
+		obs.CtrFsyncs:           s.Fsyncs.Load(),
+		obs.CtrCheckpoints:      s.Checkpoints.Load(),
+		obs.CtrCompactions:      s.Compactions.Load(),
+		obs.CtrCompactedBytes:   s.CompactedBytes.Load(),
+		obs.CtrSegRotations:     s.SegRotations.Load(),
+		obs.CtrTornTruncations:  s.TornTruncations.Load(),
+		obs.CtrRecoveredRecords: s.RecoveredRecords.Load(),
+		obs.CtrRecoveryNanos:    s.RecoveryNanos.Load(),
+		obs.CtrChecksumFailures: s.ChecksumFailures.Load(),
+	}
+}

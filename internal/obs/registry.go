@@ -101,7 +101,32 @@ const (
 	CtrLeafSetSize    = "leaf_set_size"
 	CtrTableEntries   = "routing_table_entries"
 	CtrBelowKEvents   = "below_k_events_total"
+
+	// Durable storage-engine counters (internal/logstore). The backend
+	// owns the atomics; the node folds them in at snapshot time through
+	// the CounterSource interface, so they ride the same registry and
+	// Prometheus path as every other counter.
+	CtrWALAppends       = "logstore_wal_appends_total"
+	CtrWALBytes         = "logstore_wal_bytes_total"
+	CtrFsyncs           = "logstore_fsyncs_total"
+	CtrCheckpoints      = "logstore_checkpoints_total"
+	CtrCompactions      = "logstore_compactions_total"
+	CtrCompactedBytes   = "logstore_compacted_bytes_total"
+	CtrSegRotations     = "logstore_segment_rotations_total"
+	CtrTornTruncations  = "logstore_torn_truncations_total"
+	CtrRecoveredRecords = "logstore_recovered_records_total"
+	CtrRecoveryNanos    = "logstore_recovery_nanos_total"
+	CtrChecksumFailures = "logstore_checksum_failures_total"
+	CtrSegments         = "logstore_segments"
 )
+
+// CounterSource lets a subsystem contribute named counters to a node's
+// snapshot. A storage backend implementing it has its counters folded
+// into StatsSnapshot, and from there into /metrics, the stats RPC, and
+// the experiment drivers.
+type CounterSource interface {
+	ObsCounters() map[string]int64
+}
 
 // Snapshot is a point-in-time copy of a registry (or an aggregate of
 // several): a name->value counter map plus the RPC-latency bucket

@@ -346,6 +346,13 @@ func (n *Node) StatsSnapshot() obs.Snapshot {
 	snap.Set(obs.CtrCacheMisses, misses)
 	snap.Set(obs.CtrCacheEvictions, evictions)
 	snap.Set(obs.CtrBelowKEvents, n.belowK)
+	// Backends with their own instrumentation (the log-structured store)
+	// export it through the same snapshot.
+	if src, ok := n.store.(obs.CounterSource); ok {
+		for name, v := range src.ObsCounters() {
+			snap.Set(name, v)
+		}
+	}
 	n.mu.Unlock()
 	snap.Set(obs.CtrReroutes, n.overlay.Reroutes())
 	snap.Set(obs.CtrLeafRepairs, n.overlay.LeafRepairs())

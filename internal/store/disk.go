@@ -101,6 +101,31 @@ func (d *DiskStore) saveMeta() error {
 	return nil
 }
 
+// writeFileAtomic writes content via temp-file + rename (the same
+// pattern saveMeta uses), so a crash mid-write can never leave a
+// truncated object file under the final name: re-adding the same file
+// after a restart would otherwise see the torn copy.
+func writeFileAtomic(path string, content []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".obj-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 // Accounting delegates.
 
 func (d *DiskStore) Capacity() int64                      { return d.mem.Capacity() }
@@ -123,7 +148,7 @@ func (d *DiskStore) Add(e Entry) error {
 			d.mem.Remove(e.File)
 			return fmt.Errorf("store: write object: %w", err)
 		}
-		if err := os.WriteFile(p, content, 0o644); err != nil {
+		if err := writeFileAtomic(p, content); err != nil {
 			d.mem.Remove(e.File)
 			return fmt.Errorf("store: write object: %w", err)
 		}
@@ -131,6 +156,46 @@ func (d *DiskStore) Add(e Entry) error {
 	if err := d.saveMeta(); err != nil {
 		d.mem.Remove(e.File)
 		os.Remove(d.objectPath(e.File))
+		return err
+	}
+	return nil
+}
+
+// AddBatch stores many replicas with one metadata snapshot at the end,
+// instead of Add's snapshot-per-mutation — the bulk-load path (restore,
+// migration, benchmark seeding). On error the in-memory table is rolled
+// back to its prior state; object files already written remain and are
+// overwritten by a retry.
+func (d *DiskStore) AddBatch(entries []Entry) error {
+	added := make([]id.File, 0, len(entries))
+	rollback := func() {
+		for _, f := range added {
+			d.mem.Remove(f)
+		}
+	}
+	for _, e := range entries {
+		content := e.Content
+		e.Content = nil
+		if err := d.mem.Add(e); err != nil {
+			rollback()
+			return err
+		}
+		added = append(added, e.File)
+		if content == nil {
+			continue
+		}
+		p := d.objectPath(e.File)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			rollback()
+			return fmt.Errorf("store: write object: %w", err)
+		}
+		if err := writeFileAtomic(p, content); err != nil {
+			rollback()
+			return fmt.Errorf("store: write object: %w", err)
+		}
+	}
+	if err := d.saveMeta(); err != nil {
+		rollback()
 		return err
 	}
 	return nil

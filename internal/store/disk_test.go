@@ -147,3 +147,57 @@ func TestDiskSizeOnlyEntries(t *testing.T) {
 		t.Fatalf("size-only entry: %v %+v", ok, e)
 	}
 }
+
+// TestDiskAddContentWriteIsAtomic pins the temp-file + rename write
+// path for object content: while an Add is in flight there must never
+// be a partially written file visible under the final object name, and
+// a leftover temp file from an interrupted write must not shadow a
+// later successful Add.
+func TestDiskAddContentWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("x"), 4096)
+	if err := d.Add(Entry{File: fid(1), Size: 4096, Kind: Primary, Content: content}); err != nil {
+		t.Fatal(err)
+	}
+	// The object under its final name is complete.
+	got, err := os.ReadFile(d.objectPath(fid(1)))
+	if err != nil || !bytes.Equal(got, content) {
+		t.Fatalf("object not fully written: %d bytes, err=%v", len(got), err)
+	}
+	// No temp files left behind by the rename.
+	des, err := os.ReadDir(filepath.Dir(d.objectPath(fid(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if len(de.Name()) > 4 && de.Name()[:5] == ".obj-" {
+			t.Fatalf("leaked temp file %s", de.Name())
+		}
+	}
+
+	// A torn write from a crashed predecessor (simulated: a stale temp
+	// file plus a truncated object) is fully replaced by a fresh Add.
+	p := d.objectPath(fid(2))
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte("y"), 1024)
+	if err := d2.Add(Entry{File: fid(2), Size: 1024, Kind: Primary, Content: want}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := d2.Get(fid(2))
+	if !ok || !bytes.Equal(e.Content, want) {
+		t.Fatalf("torn predecessor survived: %d bytes", len(e.Content))
+	}
+}
