@@ -31,9 +31,13 @@ type checkpointEntry struct {
 }
 
 // Checkpoint snapshots the metadata index, rotates the WAL, and deletes
-// the superseded WAL files. At most one checkpoint runs at a time;
-// concurrent calls return immediately.
+// the superseded WAL files. Concurrent calls return immediately
+// (ckptRunning is a fast-path skip); the body itself is additionally
+// serialized under ckptMu against the final checkpoint in Close.
 func (s *Store) Checkpoint() error {
+	if s.closed.Load() {
+		return errClosed
+	}
 	if !s.ckptRunning.CompareAndSwap(false, true) {
 		return nil
 	}
@@ -41,9 +45,13 @@ func (s *Store) Checkpoint() error {
 	return s.checkpoint()
 }
 
-// checkpoint is the uncontended body, also called from Close (where the
-// gate races nothing).
+// checkpoint is the body, also called from Close. ckptMu serializes
+// every caller: the ckptRunning gate alone does not cover Close, and
+// two interleaved checkpoints can commit a stale snapshot after the
+// newer one already deleted the WAL files its WALSeq points at.
 func (s *Store) checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	// Everything the snapshot will claim must be durable first; then
 	// rotation can move the write point to a fresh WAL file. syncMu
 	// keeps a concurrent group-commit leader from fsyncing the file
@@ -90,6 +98,9 @@ func (s *Store) checkpoint() error {
 		s.syncMu.Unlock()
 		return fmt.Errorf("logstore: checkpoint rotate: %w", err)
 	}
+	// The new WAL's directory entry must be durable before any record
+	// appended to it is acknowledged.
+	syncDir(s.dir)
 	oldWAL, oldSeq := s.log.wal, s.log.walSeq
 	s.log.wal = newWAL
 	s.log.walSeq = data.WALSeq

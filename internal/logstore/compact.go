@@ -59,7 +59,10 @@ func (s *Store) CompactOnce() (bool, error) {
 	}
 
 	// Relocation WAL records and copied content must be durable before
-	// the only other copy disappears.
+	// the only other copy disappears. Each relocated record is either
+	// in the current active segment (synced here) or in a segment that
+	// was sealed since — and rotateSegmentLocked fsyncs a segment
+	// before sealing it, so those are already on disk.
 	if err := s.fsyncFiles(); err != nil {
 		return false, err
 	}

@@ -171,10 +171,21 @@ type Store struct {
 	// never fsyncs a file the checkpoint just closed.
 	syncMu sync.Mutex
 
+	// ckptMu serializes checkpoint bodies: the exported Checkpoint
+	// path, automatic checkpoints, and the final one from Close. Two
+	// interleaved checkpoints could otherwise race the snapshot rename
+	// — the lower-WALSeq snapshot winning after the higher one already
+	// deleted the WAL files below its seq, silently losing records on
+	// the next recovery.
+	ckptMu      sync.Mutex
 	ckptRunning atomic.Bool
 	closed      atomic.Bool
 	stop        chan struct{}
-	bg          sync.WaitGroup
+	// bgMu makes the closed-check + bg.Add in kickCheckpoint atomic
+	// against Close/Kill's closed-store + bg.Wait (a bare Add racing
+	// Wait is WaitGroup misuse).
+	bgMu sync.Mutex
+	bg   sync.WaitGroup
 }
 
 var (
@@ -237,6 +248,9 @@ func (s *Store) CanAccept(size int64, t float64) bool {
 
 // Add stores a replica: content appended to the active segment, one
 // WAL record, index insert, then (under SyncAlways) a group commit.
+// If the commit fsync fails the error is returned but the entry may
+// remain visible (see waitDurable); the store then refuses all
+// further mutations.
 func (s *Store) Add(e store.Entry) error {
 	if s.closed.Load() {
 		return errClosed
@@ -509,13 +523,31 @@ func (s *Store) appendSegmentLocked(f id.File, content []byte) (location, error)
 	return loc, nil
 }
 
-// rotateSegmentLocked seals the active segment and opens the next.
+// rotateSegmentLocked seals the active segment and opens the next. The
+// outgoing segment is fsynced before the swap: fsyncFiles and
+// checkpoint only ever sync the *active* segment, so without this a
+// record appended just before rotation would be acknowledged durable
+// (its WAL record fsyncs) while the sealed file holding its content
+// never reached disk. Sealing keeps the invariant that every sealed
+// segment is fully durable.
 func (s *Store) rotateSegmentLocked() error {
+	if s.log.seg != nil {
+		if err := s.log.seg.Sync(); err != nil {
+			// Content already acknowledged durable may not be on disk;
+			// the store can no longer honor its guarantees.
+			s.log.failed = fmt.Errorf("logstore: seal segment %d: %w", s.log.segID, err)
+			return s.log.failed
+		}
+		s.stats.Fsyncs.Add(1)
+	}
 	nid := s.log.segID + 1
 	f, err := createLogFile(segPath(s.dir, nid), segMagic)
 	if err != nil {
 		return fmt.Errorf("logstore: new segment: %w", err)
 	}
+	// The new file's directory entry must be durable before any WAL
+	// record referencing it is acknowledged.
+	syncDir(s.dir)
 	s.log.seg = f
 	s.log.segID = nid
 	s.log.segOff = fileHeaderSize
@@ -558,6 +590,13 @@ func (s *Store) checkpointDueLocked() bool {
 // waitDurable blocks (under SyncAlways) until the record at lsn is
 // fsynced, batching with every other committer in flight: the first
 // waiter past the watermark fsyncs once for all of them.
+//
+// On fsync failure the store is marked failed (all future mutations
+// refuse at the front door) and the error is returned. The caller's
+// mutation was already applied to the index before waiting, so an
+// errored Add/Remove may still be visible on the (now read-only)
+// store — the index is not rolled back, matching what a crash-reopen
+// could surface if the appends did in fact reach disk.
 func (s *Store) waitDurable(lsn uint64) error {
 	if s.opts.Sync != SyncAlways {
 		return nil
@@ -577,6 +616,15 @@ func (s *Store) waitDurable(lsn uint64) error {
 		c.Unlock()
 		target := s.lsn.Load() // records appended so far are covered
 		err := s.fsyncFiles()
+		if err != nil {
+			// Durability of acknowledged data is now unknown; wedge the
+			// write path consistently (not just this commit group).
+			s.log.Lock()
+			if s.log.failed == nil {
+				s.log.failed = err
+			}
+			s.log.Unlock()
+		}
 		c.Lock()
 		c.syncing = false
 		if err != nil {
@@ -618,12 +666,20 @@ func (s *Store) fsyncFiles() error {
 func (s *Store) Sync() error { return s.fsyncFiles() }
 
 // kickCheckpoint starts an asynchronous checkpoint unless one is
-// already running.
+// already running. bgMu keeps the closed-check and bg.Add atomic: any
+// kick that wins the lock before Close marks the store closed is
+// covered by Close's bg.Wait; any kick after sees closed and backs off.
 func (s *Store) kickCheckpoint() {
-	if s.ckptRunning.Load() || s.closed.Load() {
+	if s.ckptRunning.Load() {
+		return
+	}
+	s.bgMu.Lock()
+	if s.closed.Load() {
+		s.bgMu.Unlock()
 		return
 	}
 	s.bg.Add(1)
+	s.bgMu.Unlock()
 	go func() {
 		defer s.bg.Done()
 		_ = s.Checkpoint()
@@ -637,6 +693,8 @@ func (s *Store) Close() error {
 		return nil
 	}
 	close(s.stop)
+	s.bgMu.Lock() // flush any kickCheckpoint that raced the closed flag
+	s.bgMu.Unlock()
 	s.bg.Wait()
 	err := s.checkpoint()
 	s.closeFiles()
@@ -667,6 +725,8 @@ func (s *Store) Kill() {
 		return
 	}
 	close(s.stop)
+	s.bgMu.Lock() // flush any kickCheckpoint that raced the closed flag
+	s.bgMu.Unlock()
 	s.bg.Wait()
 	s.closeFiles()
 }

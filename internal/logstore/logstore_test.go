@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"sync"
 	"testing"
 
 	"past/internal/id"
@@ -452,3 +453,86 @@ func TestClosedStoreRefusesMutations(t *testing.T) {
 
 func readFileForTest(path string) ([]byte, error)  { return os.ReadFile(path) }
 func writeFileForTest(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+
+// TestRotationSealsSegmentDurably verifies that sealing a segment
+// fsyncs it: under SyncNever with checkpoints disabled, the only fsync
+// source is rotateSegmentLocked, so the counter must track rotations.
+// Without the seal-sync, content acknowledged just before a rotation
+// could vanish in a crash even though its WAL record was fsynced.
+func TestRotationSealsSegmentDurably(t *testing.T) {
+	opts := testOpts()
+	opts.SegmentTarget = 1024
+	s := mustOpen(t, t.TempDir(), opts)
+	defer s.Close()
+
+	for i := uint64(0); i < 8; i++ {
+		content := contentFor(i, 512)
+		if err := s.Add(store.Entry{File: fid(i), Size: int64(len(content)), Content: content}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rot := s.Stats().SegRotations.Load()
+	if rot < 2 {
+		t.Fatalf("expected multiple rotations, got %d", rot)
+	}
+	// First Add creates segment 1 via rotate (no predecessor to seal);
+	// every later rotation must have fsynced the outgoing segment.
+	if got := s.Stats().Fsyncs.Load(); got < rot-1 {
+		t.Fatalf("rotations=%d but only %d fsyncs: sealed segments not synced", rot, got)
+	}
+}
+
+// TestCloseRacesCheckpoint hammers explicit Checkpoint calls and
+// auto-checkpoint kicks (tiny CheckpointBytes) while Close runs. Run
+// with -race: this used to trip bg.Add-vs-bg.Wait WaitGroup misuse and
+// let two checkpoint bodies interleave, which could commit a stale
+// snapshot after a newer one had deleted the WAL files it points at.
+func TestCloseRacesCheckpoint(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		dir := t.TempDir()
+		opts := testOpts()
+		opts.CheckpointBytes = 256 // kick a checkpoint every few ops
+		s := mustOpen(t, dir, opts)
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					n := uint64(round*1_000_000 + w*10_000 + i)
+					f := fid(n)
+					content := contentFor(n, 64)
+					_ = s.Add(store.Entry{File: f, Size: 64, Content: content})
+					if i%7 == 0 {
+						_ = s.Checkpoint()
+					}
+				}
+			}()
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		if err := s.Checkpoint(); err != errClosed {
+			t.Fatalf("Checkpoint after Close: got %v, want errClosed", err)
+		}
+
+		// The directory must reopen cleanly and hold every entry whose
+		// Add succeeded before Close won the race.
+		entriesBefore := s.Len()
+		s2 := mustOpen(t, dir, testOpts())
+		if got := s2.Len(); got != entriesBefore {
+			t.Fatalf("round %d: reopened with %d entries, closed with %d", round, got, entriesBefore)
+		}
+		s2.Close()
+	}
+}

@@ -90,6 +90,7 @@ func (s *Store) recover() error {
 		if err != nil {
 			return fmt.Errorf("logstore: create WAL: %w", err)
 		}
+		syncDir(s.dir) // dir entry durable before records are acknowledged
 		s.log.wal = wal
 	} else {
 		for i, seq := range replaySeqs {
