@@ -8,7 +8,7 @@
 //	past-bench -exp fig8 -scale full     # paper scale: 2250 nodes, ~1.8M files
 //
 // Experiments: table1, baseline, table2, table3 (with fig2), table4
-// (with fig3), fig4, fig5, fig6, fig7, fig8, routing, all.
+// (with fig3), fig4, fig5, fig6, fig7, fig8, routing, overload, all.
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: table1|baseline|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|routing|frag|overhead|all")
+		exp    = flag.String("exp", "all", "experiment id: table1|baseline|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|routing|frag|overhead|overload|all")
 		scale  = flag.String("scale", "bench", "scale preset: tiny|bench|full")
 		seed   = flag.Int64("seed", 1, "random seed")
 		seeds  = flag.Int("seeds", 1, "repeat the table experiments over N seeds and report mean±sd")
@@ -117,7 +117,7 @@ func run(exp string, sc experiments.Scale, seed int64, elog *obs.EventLog) error
 	ids := []string{exp}
 	if exp == "all" {
 		ids = []string{"table1", "baseline", "table2", "table3", "table4",
-			"fig4", "fig5", "fig6", "fig7", "fig8", "routing", "frag", "overhead"}
+			"fig4", "fig5", "fig6", "fig7", "fig8", "routing", "frag", "overhead", "overload"}
 	}
 	// The standard run feeds fig4, fig5, and fig6; cache it.
 	var std *experiments.StorageResult
@@ -208,6 +208,12 @@ func run(exp string, sc experiments.Scale, seed int64, elog *obs.EventLog) error
 				return err
 			}
 			out = experiments.RenderOverhead(r)
+		case "overload":
+			r, err := experiments.RunOverload(experiments.OverloadConfig{Seed: seed})
+			if err != nil {
+				return err
+			}
+			out = experiments.RenderOverload(r)
 		default:
 			return fmt.Errorf("unknown experiment %q", id)
 		}

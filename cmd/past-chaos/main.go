@@ -13,6 +13,7 @@
 //	past-chaos -resilience              # soak with the client resilience layer on
 //	past-chaos -compare                 # same schedule, layer off vs on, side by side
 //	past-chaos -trace 4 -events-out run.jsonl   # trace every 4th op, stream JSONL events
+//	past-chaos -admit-rate 5 -events-out run.jsonl   # soak behind admission control; sheds stream as "overload" events
 //	past-chaos -check-events run.jsonl  # validate and summarize an event stream
 //	past-chaos -crash                   # storage crash soak: kill a logstore mid-commit, recover, verify
 //	past-chaos -crash -crash-lives 10 -crash-ops 500 -crash-dir /tmp/ls -keep
@@ -29,6 +30,7 @@ import (
 	"os"
 	"sort"
 
+	"past/internal/admit"
 	"past/internal/experiments"
 	"past/internal/obs"
 )
@@ -55,6 +57,11 @@ func main() {
 		trace    = flag.Int("trace", 0, "sample every Nth client operation for a per-hop route trace (0: off)")
 		evOut    = flag.String("events-out", "", "write the structured JSONL event stream to this file")
 		evCheck  = flag.String("check-events", "", "validate a JSONL event stream and print a summary (no soak runs)")
+
+		admitRate   = flag.Float64("admit-rate", 0, "put every node behind admission control at this rate in req/s; rejections become \"overload\" events (0: off)")
+		admitBurst  = flag.Int("admit-burst", 4, "admission control: token-bucket burst")
+		admitDepth  = flag.Int("admit-depth", 8, "admission control: bounded queue depth before shedding")
+		admitPolicy = flag.String("admit-policy", "droptail", "admission control: shed policy — droptail, dropfront, or lifo")
 
 		crash      = flag.Bool("crash", false, "run the storage crash soak instead of the network soak")
 		crashLives = flag.Int("crash-lives", 5, "crash soak: kill/recover cycles")
@@ -88,6 +95,16 @@ func main() {
 		ChurnEvery: *churn, DownFor: *downFor,
 		PartitionFrom: *partFrom, PartitionFor: *partFor, PartitionFrac: *partFrac,
 		Resilience: *resil, TraceEvery: *trace,
+	}
+	if *admitRate > 0 {
+		pol, err := admit.ParsePolicy(*admitPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "past-chaos:", err)
+			os.Exit(2)
+		}
+		cfg.Admit = &admit.Config{
+			Rate: *admitRate, Burst: *admitBurst, Depth: *admitDepth, Policy: pol,
+		}
 	}
 	var evFile *os.File
 	if *evOut != "" {

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"past/internal/loadgen"
+)
+
+func TestReportDoesNotPanic(t *testing.T) {
+	res, err := loadgen.RunSim(loadgen.SimConfig{
+		Nodes:    6,
+		Seed:     1,
+		Requests: 200,
+		Arrivals: loadgen.NewConstant(300),
+		Workload: loadgen.Workload{Files: 16},
+		NodeRate: 50,
+		Shed:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(res, 500*time.Millisecond)
+}

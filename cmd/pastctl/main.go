@@ -139,6 +139,8 @@ func runCommand(tr *transport.TCP, node string, k int, args []string) error {
 					fmt.Printf("  < %-11s %d\n", b, v)
 				}
 			}
+			fmt.Printf("  p50=%v p90=%v p99=%v p99.9=%v (interpolated)\n",
+				s.RPCQuantile(50), s.RPCQuantile(90), s.RPCQuantile(99), s.RPCQuantile(99.9))
 		}
 		return nil
 

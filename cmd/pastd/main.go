@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"past/internal/admit"
 	"past/internal/id"
 	"past/internal/logstore"
 	"past/internal/obs"
@@ -71,6 +72,11 @@ func main() {
 		hopTimeout = flag.Duration("hop-timeout", 2*time.Second, "per-hop routing RPC timeout before trying an alternate (0: unbounded)")
 		partial    = flag.Bool("partial-insert", false, "accept inserts that stored at least one but fewer than k replicas; maintenance repairs the shortfall")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address (empty: off)")
+
+		admitRate   = flag.Float64("admit-rate", 0, "admission control: sustained request rate in req/s; excess load is shed with an overload error (0: off)")
+		admitBurst  = flag.Int("admit-burst", 8, "admission control: token-bucket burst")
+		admitDepth  = flag.Int("admit-depth", 16, "admission control: bounded queue depth before shedding")
+		admitPolicy = flag.String("admit-policy", "droptail", "admission control: shed policy — droptail, dropfront, or lifo")
 	)
 	flag.Parse()
 
@@ -113,6 +119,18 @@ func main() {
 			JitterSeed:  time.Now().UnixNano(),
 			Hedge:       *hedge > 0,
 			HedgeDelay:  *hedge,
+		}
+	}
+	if *admitRate > 0 {
+		pol, err := admit.ParsePolicy(*admitPolicy)
+		if err != nil {
+			log.Fatalf("pastd: %v", err)
+		}
+		cfg.Admit = &admit.Config{
+			Rate:   *admitRate,
+			Burst:  *admitBurst,
+			Depth:  *admitDepth,
+			Policy: pol,
 		}
 	}
 	kind := *storeKind

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"past/internal/loadgen"
+)
+
+// smallOverload keeps the sweep cheap: two rates bracketing
+// saturation, small cluster, short runs.
+func smallOverload(seed int64) OverloadConfig {
+	return OverloadConfig{
+		Nodes:       8,
+		NodeRate:    20, // capacity 160/s
+		Multipliers: []float64{0.5, 2},
+		Requests:    800,
+		Workload:    loadgen.Workload{Files: 40},
+		Seed:        seed,
+	}
+}
+
+func TestRunOverloadFingerprintBitIdentical(t *testing.T) {
+	a, err := RunOverload(smallOverload(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOverload(smallOverload(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == "" || a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints differ across identical runs:\n%s\n%s",
+			a.Fingerprint, b.Fingerprint)
+	}
+	for i := range a.Points {
+		if *a.Points[i].Result != *b.Points[i].Result {
+			t.Fatalf("point %d diverged:\n%+v\n%+v",
+				i, a.Points[i].Result, b.Points[i].Result)
+		}
+	}
+	c, err := RunOverload(smallOverload(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+func TestRunOverloadSheddingWinsAtTwiceCapacity(t *testing.T) {
+	res, err := RunOverload(smallOverload(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := res.At(2, false), res.At(2, true)
+	if off == nil || on == nil {
+		t.Fatal("sweep missing the 2x points")
+	}
+	if off.Result.Shed != 0 {
+		t.Fatalf("unbounded-queue run shed %d requests", off.Result.Shed)
+	}
+	if on.Result.Shed == 0 {
+		t.Fatal("admission control shed nothing at 2x capacity")
+	}
+	if on.Goodput() <= off.Goodput() {
+		t.Fatalf("goodput with shedding %.1f/s <= without %.1f/s",
+			on.Goodput(), off.Goodput())
+	}
+	if on.Result.P(99) >= off.Result.P(99) {
+		t.Fatalf("p99 with shedding %v >= without %v",
+			on.Result.P(99), off.Result.P(99))
+	}
+	// Below saturation admission control must be invisible: nothing
+	// shed, goodput essentially identical.
+	uOff, uOn := res.At(0.5, false), res.At(0.5, true)
+	if uOn.Result.Shed != 0 {
+		t.Fatalf("shed %d requests at half capacity", uOn.Result.Shed)
+	}
+	if uOn.Result.Good != uOff.Result.Good {
+		t.Fatalf("underload goodput changed with admission on: %d vs %d",
+			uOn.Result.Good, uOff.Result.Good)
+	}
+}
+
+func TestRenderOverload(t *testing.T) {
+	res, err := RunOverload(OverloadConfig{
+		Nodes:       5,
+		NodeRate:    20,
+		Multipliers: []float64{1},
+		Requests:    200,
+		Workload:    loadgen.Workload{Files: 20},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderOverload(res)
+	for _, want := range []string{"Overload sweep", "goodput", "p999", "fingerprint:", res.Fingerprint} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got < 4 {
+		t.Fatalf("render too short (%d lines):\n%s", got, out)
+	}
+}

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
+	"past/internal/admit"
 	"past/internal/cache"
 	"past/internal/chaos"
 	"past/internal/id"
@@ -70,6 +73,12 @@ type SoakConfig struct {
 	// the cluster degrades while faults are active. Zero selects 8;
 	// negative disables the traffic.
 	FaultOps int
+
+	// Admit, when non-nil, puts every node behind an admission
+	// controller, so the soak also exercises overload shedding under
+	// faults. Rejections are counted (FaultSheds) and emitted as
+	// "overload" events; the schedule itself never consults them.
+	Admit *admit.Config
 
 	// TraceEvery samples every Nth client operation for a full per-hop
 	// route trace; sampled traces are retained on the result's Tracer
@@ -272,6 +281,9 @@ type SoakResult struct {
 	// post-heal retrievability.
 	FaultLookups, FaultLookupsOK int
 	FaultInserts, FaultInsertsOK int
+	// FaultSheds counts fault-phase operations rejected with
+	// ErrOverloaded by an admission controller (only with Config.Admit).
+	FaultSheds int
 
 	// FaultPhase and HealPhase are the per-phase registry deltas: the
 	// fault phase covers the ticks the schedule is active, the heal
@@ -337,6 +349,20 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	}
 
 	pcfg := pastConfig(cfg.B, cfg.L, cfg.K, 0.1, 0.05, 4, cache.None, col)
+	// Admission under the soak must stay deterministic: unless the
+	// caller supplied a clock, pin the controllers to virtual time — one
+	// second per tick — so token refill never depends on the wall clock.
+	var admitTick int
+	if cfg.Admit != nil {
+		ac := *cfg.Admit
+		if ac.Clock == nil {
+			epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+			ac.Clock = func() time.Time {
+				return epoch.Add(time.Duration(admitTick) * time.Second)
+			}
+		}
+		pcfg.Admit = &ac
+	}
 	var tracer *obs.Tracer
 	if cfg.TraceEvery > 0 {
 		tracer = obs.NewTracer(cfg.TraceEvery, 64)
@@ -415,8 +441,10 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	opRng := stats.NewRand(cfg.Seed ^ 0x0B5E)
 	lastLeaf := make(map[id.Node][]id.Node)
 	var pendingRejoin []id.Node
+	var shedSeen int64
 	for t := 0; t < cfg.Ticks; t++ {
 		core.SetTick(t)
+		admitTick = t
 		fail, rec := sched.ChurnAt(t)
 		for _, i := range fail {
 			nid, ok := core.NodeAt(i)
@@ -439,6 +467,15 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		cluster.MaintainAll()
 		checker.CheckDurability(cluster, files, t)
 		soakFaultOps(cluster, core, opRng, files, t, res)
+		if cfg.Admit != nil {
+			// Hop-level rejections this tick: sheds absorbed by per-hop
+			// reroute never reach a client, so they are read off the
+			// admission controllers instead.
+			if total := soakShedTotal(cluster); total > shedSeen {
+				elog.Emit(obs.Event{Kind: "overload", Tick: t, Op: "hop-shed", N: total - shedSeen})
+				shedSeen = total
+			}
+		}
 		elog.Emit(obs.Event{
 			Kind: "tick", Tick: t, N: core.EventCount(),
 			OK: len(res.Violations) == 0,
@@ -497,6 +534,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	}
 	for r := 0; r < cfg.HealRounds; r++ {
 		core.SetTick(healTick + r)
+		admitTick = healTick + r
 		cluster.MaintainAll()
 	}
 
@@ -505,12 +543,16 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 	checker.CheckDurability(cluster, files, finalEpoch)
 	checker.CheckConverged(cluster, files, finalEpoch)
 
-	// End-to-end sanity: every file must still be retrievable.
-	for _, f := range files {
+	// End-to-end sanity: every file must still be retrievable. The
+	// admission clock advances a virtual second per lookup so the final
+	// sweep is not starved by tokens spent during the fault phase.
+	for i, f := range files {
+		admitTick = finalEpoch + i
 		client := cluster.RandomAliveNode()
 		lr, err := client.Lookup(f)
-		col.RecordLookup(col.Utilization(), lr.Hops, err == nil && lr.Found, lr.FromCache)
-		if err == nil && lr.Found {
+		found := err == nil && lr.Found
+		col.RecordLookup(col.Utilization(), hopsOf(lr), found, lr != nil && lr.FromCache)
+		if found {
 			res.LookupsOK++
 			res.hopSum += lr.Hops
 			res.hopN++
@@ -595,11 +637,13 @@ func soakFaultOps(cluster *past.Cluster, core *chaos.Core, rng *rand.Rand, files
 			continue
 		}
 		res.FaultLookups++
-		if lr, err := client.Lookup(f); err == nil && lr.Found {
+		lr, err := client.Lookup(f)
+		if err == nil && lr.Found {
 			res.FaultLookupsOK++
 			res.hopSum += lr.Hops
 			res.hopN++
 		}
+		soakNoteOverload(res, tick, "lookup", err)
 	}
 	client := soakClient(cluster, core, rng)
 	size := 512 + int64(rng.Intn(4096))
@@ -614,6 +658,37 @@ func soakFaultOps(cluster *past.Cluster, core *chaos.Core, rng *rand.Rand, files
 	if err == nil && ins.OK {
 		res.FaultInsertsOK++
 	}
+	soakNoteOverload(res, tick, "insert", err)
+}
+
+// soakNoteOverload records a client-visible admission rejection: the
+// operation came back ErrOverloaded instead of being absorbed by
+// per-hop reroute.
+func soakNoteOverload(res *SoakResult, tick int, op string, err error) {
+	if err == nil || !errors.Is(err, netsim.ErrOverloaded) {
+		return
+	}
+	res.FaultSheds++
+	res.Config.Events.Emit(obs.Event{Kind: "overload", Tick: tick, Op: op, Detail: err.Error()})
+}
+
+// hopsOf reads a lookup's hop count, tolerating failed lookups.
+func hopsOf(lr *past.LookupResult) int {
+	if lr == nil {
+		return 0
+	}
+	return lr.Hops
+}
+
+// soakShedTotal sums hop-level admission rejections across the cluster.
+func soakShedTotal(cluster *past.Cluster) int64 {
+	var total int64
+	for _, n := range cluster.Nodes {
+		if ctl := n.AdmitController(); ctl != nil {
+			total += ctl.Shed()
+		}
+	}
+	return total
 }
 
 // soakClient picks an alive client node by walking the build roster
@@ -686,6 +761,10 @@ func RenderSoak(r *SoakResult) string {
 		fmt.Fprintf(&b, "  fault-phase traffic: lookups %d/%d ok (%.0f%%), inserts %d/%d ok\n",
 			r.FaultLookupsOK, r.FaultLookups, 100*r.FaultLookupRate(),
 			r.FaultInsertsOK, r.FaultInserts)
+	}
+	if r.Config.Admit != nil {
+		fmt.Fprintf(&b, "  admission: rate=%g burst=%d depth=%d, client-visible sheds %d\n",
+			r.Config.Admit.Rate, r.Config.Admit.Burst, r.Config.Admit.Depth, r.FaultSheds)
 	}
 	if r.Config.Resilience {
 		fmt.Fprintf(&b, "  resilience: retries=%d hedges=%d (won %d) reroutes=%d partial-inserts=%d\n",

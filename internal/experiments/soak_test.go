@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"past/internal/admit"
 	"past/internal/obs"
 )
 
@@ -244,5 +245,48 @@ func TestSoakPhaseStats(t *testing.T) {
 	out := RenderSoakComparison(&SoakComparison{Off: r, On: r})
 	if !strings.Contains(out, "per-phase registry deltas") || !strings.Contains(out, "mean-hops") {
 		t.Fatalf("comparison report missing per-phase deltas:\n%s", out)
+	}
+}
+
+// TestSoakWithAdmissionShedsDeterministically puts every soak node
+// behind a tight admission controller: the run must stay reproducible
+// (the controllers are pinned to virtual time), record hop-level
+// rejections, and emit the distinct "overload" event kind.
+func TestSoakWithAdmissionShedsDeterministically(t *testing.T) {
+	cfg := SoakConfig{
+		Seed: 5, Nodes: 20, Files: 25, Ticks: 8, FaultOps: 20,
+		Admit: &admit.Config{Rate: 2, Burst: 2, Depth: 2},
+	}
+	var buf bytes.Buffer
+	acfg := cfg
+	acfg.Events = obs.NewEventLog(&buf)
+	a, err := RunSoak(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acfg.Events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("admission broke reproducibility:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	if a.FaultLookupsOK != b.FaultLookupsOK || a.FaultSheds != b.FaultSheds {
+		t.Fatalf("admission broke traffic determinism: %d/%d ok, %d/%d shed",
+			a.FaultLookupsOK, b.FaultLookupsOK, a.FaultSheds, b.FaultSheds)
+	}
+	evs, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := obs.CountByKind(evs)["overload"]; n == 0 {
+		t.Fatalf("no overload events with Rate=2 admission and %d ops/tick; kinds: %v",
+			cfg.FaultOps, obs.CountByKind(evs))
+	}
+	if !strings.Contains(RenderSoak(a), "admission:") {
+		t.Fatalf("render missing admission line:\n%s", RenderSoak(a))
 	}
 }

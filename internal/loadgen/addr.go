@@ -1,0 +1,47 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"past/internal/id"
+	"past/internal/past"
+	"past/internal/transport"
+)
+
+// AddrClient drives a remote PAST access point over the TCP transport
+// via the client RPCs — the pure-client role cmd/past-load and
+// cmd/pastctl play. Remote errors arrive rehydrated onto the sentinel
+// taxonomy, so sheds still classify as netsim.ErrOverloaded.
+type AddrClient struct {
+	T    *transport.TCP
+	Addr string
+}
+
+// Insert implements Client.
+func (a AddrClient) Insert(name string, size int64, content []byte) (id.File, error) {
+	reply, err := a.T.InvokeAddr(a.Addr, &past.ClientInsert{Name: name, Content: content})
+	if err != nil {
+		return id.File{}, err
+	}
+	ir, ok := reply.(*past.ClientInsertReply)
+	if !ok {
+		return id.File{}, fmt.Errorf("loadgen: unexpected insert reply %T", reply)
+	}
+	if !ir.OK {
+		return id.File{}, fmt.Errorf("loadgen: insert rejected: %s", ir.Reason)
+	}
+	return ir.FileID, nil
+}
+
+// Lookup implements Client.
+func (a AddrClient) Lookup(f id.File) (bool, error) {
+	reply, err := a.T.InvokeAddr(a.Addr, &past.ClientLookup{File: f})
+	if err != nil {
+		return false, err
+	}
+	lr, ok := reply.(*past.ClientLookupReply)
+	if !ok {
+		return false, fmt.Errorf("loadgen: unexpected lookup reply %T", reply)
+	}
+	return lr.Found, nil
+}

@@ -1,0 +1,242 @@
+// Package loadgen is a deterministic open-loop workload driver for
+// PAST clusters. Requests arrive on a seeded schedule — constant rate,
+// Poisson, or square-wave bursts — regardless of how fast the system
+// answers, which is what distinguishes an open-loop driver from a
+// closed-loop benchmark whose offered rate silently collapses to the
+// service rate under overload.
+//
+// Latency is measured from each request's *intended* send time, not
+// from the moment the driver actually got around to sending it. When
+// the system (or the driver's own send path) stalls, requests queue
+// behind the stall; measuring from actual send would erase that
+// queueing delay from the percentiles — the coordinated-omission error.
+// Measuring from the schedule keeps the tail honest.
+//
+// The driver runs in two modes sharing one workload generator:
+//
+//   - Run: real clock, against anything implementing Client — an
+//     in-process node (NodeClient) or a TCP access point (cmd/past-load
+//     wires transport.InvokeAddr to the same interface).
+//   - RunSim: virtual time against an emulated cluster. The admission
+//     controllers run in Offer mode, the driver owns the clock, and a
+//     fixed seed yields a bit-identical Result fingerprint.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"past/internal/stats"
+	"past/internal/trace"
+)
+
+// Arrivals generates a request schedule: successive calls return the
+// nondecreasing intended send offsets of requests, measured from the
+// start of the run. Implementations keep their cursor internally; all
+// randomness comes from the caller's seeded RNG.
+type Arrivals interface {
+	Next(r *rand.Rand) time.Duration
+}
+
+// Constant is a fixed-rate arrival process: requests exactly 1/rate
+// apart, the first at offset zero. It draws no randomness.
+type Constant struct {
+	gap time.Duration
+	at  time.Duration
+}
+
+// NewConstant returns a constant-rate arrival process of rate requests
+// per second.
+func NewConstant(rate float64) *Constant {
+	if rate <= 0 {
+		panic(fmt.Sprintf("loadgen: constant rate must be > 0, got %g", rate))
+	}
+	return &Constant{gap: time.Duration(math.Round(float64(time.Second) / rate))}
+}
+
+// Next implements Arrivals.
+func (c *Constant) Next(*rand.Rand) time.Duration {
+	at := c.at
+	c.at += c.gap
+	return at
+}
+
+// Poisson is a memoryless arrival process: exponential inter-arrival
+// gaps with the given mean rate, the standard model for independent
+// clients.
+type Poisson struct {
+	exp stats.Exponential
+	at  time.Duration
+}
+
+// NewPoisson returns a Poisson arrival process of mean rate requests
+// per second.
+func NewPoisson(rate float64) *Poisson {
+	return &Poisson{exp: stats.Exponential{Rate: rate}}
+}
+
+// Next implements Arrivals.
+func (p *Poisson) Next(r *rand.Rand) time.Duration {
+	p.at += time.Duration(math.Round(p.exp.Sample(r) * float64(time.Second)))
+	return p.at
+}
+
+// SquareWave alternates between a low and a high constant rate — Duty
+// of every Period is spent at High — modeling flash-crowd bursts
+// against a quiet background. The rate is evaluated at each request's
+// offset, so a gap that straddles a phase edge uses the rate of the
+// phase it started in.
+type SquareWave struct {
+	low, high float64
+	period    time.Duration
+	duty      float64
+	at        time.Duration
+}
+
+// NewSquareWave returns a square-wave arrival process: high requests
+// per second for the first duty fraction of every period, low for the
+// rest.
+func NewSquareWave(low, high float64, period time.Duration, duty float64) *SquareWave {
+	if low <= 0 || high <= 0 || period <= 0 || duty <= 0 || duty >= 1 {
+		panic(fmt.Sprintf("loadgen: bad square wave (low %g high %g period %v duty %g)",
+			low, high, period, duty))
+	}
+	return &SquareWave{low: low, high: high, period: period, duty: duty}
+}
+
+// Next implements Arrivals.
+func (s *SquareWave) Next(*rand.Rand) time.Duration {
+	at := s.at
+	rate := s.low
+	if float64(s.at%s.period) < s.duty*float64(s.period) {
+		rate = s.high
+	}
+	s.at += time.Duration(math.Round(float64(time.Second) / rate))
+	return at
+}
+
+// Workload shapes the request mix: a Zipf-popular population of files
+// with sizes from the trace distributions.
+type Workload struct {
+	// Files is the unique-file population. Default 128.
+	Files int
+	// Alpha is the Zipf popularity skew of lookups. Default 0.8 (the
+	// web-trace range the paper cites).
+	Alpha float64
+	// Sizes draws file sizes. Default trace.NLANRSizes().
+	Sizes stats.SizeDist
+	// LookupFrac is the fraction of requests that are lookups (the
+	// rest insert new files until the population is exhausted).
+	// Default 0.9.
+	LookupFrac float64
+	// MaxPayload clamps sampled file sizes — a load driver measures
+	// request handling, not bulk transfer. Default 4096.
+	MaxPayload int64
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Files <= 0 {
+		w.Files = 128
+	}
+	if w.Alpha <= 0 {
+		w.Alpha = 0.8
+	}
+	if w.Sizes == (stats.SizeDist{}) {
+		w.Sizes = trace.NLANRSizes()
+	}
+	if w.LookupFrac <= 0 {
+		w.LookupFrac = 0.9
+	}
+	if w.MaxPayload <= 0 {
+		w.MaxPayload = 4096
+	}
+	return w
+}
+
+// op is one scheduled request.
+type op struct {
+	At   time.Duration // intended send offset from run start
+	Op   trace.Op
+	File int32 // unique-file index
+	Size int64 // set on inserts
+}
+
+// schedule materializes the full deterministic request schedule: the
+// arrival offsets interleaved with the insert:lookup mix. Lookups
+// target a Zipf-ranked file among those already inserted; until the
+// first insert completes (and after the population is exhausted) the
+// mix degenerates gracefully.
+func schedule(a Arrivals, w Workload, n int, r *rand.Rand) []op {
+	z := stats.NewZipf(w.Files, w.Alpha)
+	ops := make([]op, 0, n)
+	inserted := 0
+	for i := 0; i < n; i++ {
+		at := a.Next(r)
+		lookup := inserted > 0 && (inserted >= w.Files || r.Float64() < w.LookupFrac)
+		if lookup {
+			f := int32(z.Rank(r) % inserted)
+			ops = append(ops, op{At: at, Op: trace.OpLookup, File: f})
+			continue
+		}
+		sz := w.Sizes.Sample(r)
+		if sz < 1 {
+			sz = 1
+		}
+		if sz > w.MaxPayload {
+			sz = w.MaxPayload
+		}
+		ops = append(ops, op{At: at, Op: trace.OpInsert, File: int32(inserted), Size: sz})
+		inserted++
+	}
+	return ops
+}
+
+// Result aggregates one run. Latency holds served requests only
+// (successes and authoritative not-founds), measured from intended
+// send time; sheds and errors are counted but kept out of the
+// percentiles so the curves describe what the service delivered.
+type Result struct {
+	Issued   int64
+	OK       int64 // requests answered successfully
+	NotFound int64 // lookups answered authoritatively empty
+	Shed     int64 // rejected with netsim.ErrOverloaded
+	Errors   int64 // any other failure
+	// Good counts OK requests that completed within the SLO — the
+	// numerator of goodput.
+	Good int64
+	// Latency is the served-request latency histogram in nanoseconds
+	// from intended send time.
+	Latency stats.LogHist
+	// Elapsed is the offered-load window: the span of the arrival
+	// schedule (virtual mode) or the wall time of the run (real mode).
+	Elapsed time.Duration
+	// Fingerprint is the SHA-256 of the per-request outcome stream.
+	// Virtual runs at a fixed seed reproduce it bit-identically; real
+	// runs leave it empty (wall-clock latencies are not reproducible).
+	Fingerprint string
+}
+
+// Goodput is SLO-satisfying completions per second over the offered
+// window.
+func (r *Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Good) / r.Elapsed.Seconds()
+}
+
+// P returns the p-th served-latency percentile.
+func (r *Result) P(p float64) time.Duration {
+	return time.Duration(r.Latency.Quantile(p))
+}
+
+// String renders the one-line summary the CLIs print.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"issued %d ok %d notfound %d shed %d errors %d goodput %.1f/s p50 %v p99 %v p999 %v",
+		r.Issued, r.OK, r.NotFound, r.Shed, r.Errors, r.Goodput(),
+		r.P(50).Round(time.Microsecond), r.P(99).Round(time.Microsecond),
+		r.P(99.9).Round(time.Microsecond))
+}

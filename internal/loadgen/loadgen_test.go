@@ -1,0 +1,272 @@
+package loadgen
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"past/internal/id"
+	"past/internal/stats"
+	"past/internal/trace"
+)
+
+func TestConstantArrivals(t *testing.T) {
+	a := NewConstant(1000)
+	for i := 0; i < 5; i++ {
+		if got := a.Next(nil); got != time.Duration(i)*time.Millisecond {
+			t.Fatalf("arrival %d at %v", i, got)
+		}
+	}
+}
+
+func TestPoissonArrivalsMeanGap(t *testing.T) {
+	a := NewPoisson(1000) // mean gap 1ms
+	r := stats.NewRand(5)
+	const n = 20000
+	var last time.Duration
+	var sum float64
+	for i := 0; i < n; i++ {
+		at := a.Next(r)
+		if at < last {
+			t.Fatal("arrival offsets must be nondecreasing")
+		}
+		sum += float64(at - last)
+		last = at
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(time.Millisecond)) > 0.05*float64(time.Millisecond) {
+		t.Fatalf("mean gap %v; want ~1ms", time.Duration(mean))
+	}
+}
+
+func TestSquareWaveBursts(t *testing.T) {
+	// 100ms period, first half at 1000/s, second half at 100/s: the
+	// high phase must hold roughly 10x the low phase's arrivals.
+	a := NewSquareWave(100, 1000, 100*time.Millisecond, 0.5)
+	high, low := 0, 0
+	for i := 0; i < 2000; i++ {
+		at := a.Next(nil)
+		if at >= time.Second {
+			break
+		}
+		if float64(at%(100*time.Millisecond)) < 0.5*float64(100*time.Millisecond) {
+			high++
+		} else {
+			low++
+		}
+	}
+	if high < 5*low || low == 0 {
+		t.Fatalf("high %d low %d; want strongly burst-skewed", high, low)
+	}
+}
+
+func TestScheduleMixAndReferences(t *testing.T) {
+	w := Workload{Files: 50, LookupFrac: 0.8}.withDefaults()
+	ops := schedule(NewConstant(1000), w, 5000, stats.NewRand(9))
+	if len(ops) != 5000 {
+		t.Fatalf("scheduled %d ops", len(ops))
+	}
+	inserted := 0
+	lookups := 0
+	for i, o := range ops {
+		switch o.Op {
+		case trace.OpInsert:
+			if int(o.File) != inserted {
+				t.Fatalf("op %d inserts file %d; want next new index %d", i, o.File, inserted)
+			}
+			if o.Size < 1 || o.Size > w.MaxPayload {
+				t.Fatalf("op %d size %d outside [1,%d]", i, o.Size, w.MaxPayload)
+			}
+			inserted++
+		case trace.OpLookup:
+			if int(o.File) >= inserted {
+				t.Fatalf("op %d looks up file %d before its insert", i, o.File)
+			}
+			lookups++
+		}
+		if i > 0 && o.At < ops[i-1].At {
+			t.Fatal("schedule not time-ordered")
+		}
+	}
+	if inserted != w.Files {
+		t.Fatalf("population %d of %d inserted over 5000 requests", inserted, w.Files)
+	}
+	frac := float64(lookups) / 5000
+	if frac < 0.9 { // 50 inserts of 5000 -> ~99% lookups
+		t.Fatalf("lookup fraction %.2f; want dominated by lookups", frac)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	w := Workload{Files: 20}
+	a := schedule(NewPoisson(500), w.withDefaults(), 1000, stats.NewRand(3))
+	b := schedule(NewPoisson(500), w.withDefaults(), 1000, stats.NewRand(3))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// stallClient answers instantly except for one scripted request, which
+// stalls; used to prove the driver measures from intended send time.
+type stallClient struct {
+	mu      sync.Mutex
+	calls   int
+	stallAt int
+	stall   time.Duration
+}
+
+func (s *stallClient) serve() {
+	s.mu.Lock()
+	s.calls++
+	doStall := s.calls == s.stallAt
+	s.mu.Unlock()
+	if doStall {
+		time.Sleep(s.stall)
+	}
+}
+
+func (s *stallClient) Insert(name string, size int64, content []byte) (id.File, error) {
+	s.serve()
+	var f id.File
+	f[0] = 1 // any non-zero id; lookups only need a stable handle
+	return f, nil
+}
+
+func (s *stallClient) Lookup(id.File) (bool, error) {
+	s.serve()
+	return true, nil
+}
+
+func TestNoCoordinatedOmission(t *testing.T) {
+	// One 200ms server stall on a 2ms-per-request schedule with a
+	// single sender: every request scheduled behind the stall is late,
+	// and the recorded latency — measured from *intended* send time —
+	// must expose that queueing delay. A driver that measured from
+	// actual send time would report near-zero latency for every one of
+	// them (the coordinated-omission error).
+	sc := &stallClient{stallAt: 5, stall: 200 * time.Millisecond}
+	res, err := Run(Config{
+		Arrivals:    NewConstant(500),
+		Requests:    50,
+		Seed:        1,
+		Workload:    Workload{Files: 8, LookupFrac: 0.9},
+		Concurrency: 1,
+	}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 50 || res.Errors != 0 {
+		t.Fatalf("run: %s", res)
+	}
+	if p99 := res.P(99); p99 < 100*time.Millisecond {
+		t.Fatalf("p99 %v hides the 200ms stall: coordinated omission", p99)
+	}
+	if p50 := res.P(50); p50 < 20*time.Millisecond {
+		t.Fatalf("p50 %v: the stall delayed most of the schedule, median must show it", p50)
+	}
+}
+
+func TestRunOpenLoopAgainstStub(t *testing.T) {
+	// Unbounded concurrency: a stall delays only the stalled request.
+	sc := &stallClient{stallAt: 5, stall: 100 * time.Millisecond}
+	res, err := Run(Config{
+		Arrivals: NewConstant(2000),
+		Requests: 100,
+		Seed:     2,
+		Workload: Workload{Files: 8},
+	}, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 100 || res.Errors != 0 {
+		t.Fatalf("run: %s", res)
+	}
+	if res.Latency.Count() == 0 || res.OK == 0 {
+		t.Fatalf("nothing recorded: %s", res)
+	}
+	if p50 := res.P(50); p50 > 50*time.Millisecond {
+		t.Fatalf("open loop p50 %v; one stalled request must not drag the median", p50)
+	}
+}
+
+func TestRunSimFingerprintBitIdentical(t *testing.T) {
+	cfg := SimConfig{
+		Nodes:    15,
+		Seed:     11,
+		Requests: 600,
+		Arrivals: NewPoisson(300),
+		Workload: Workload{Files: 40},
+		NodeRate: 30,
+		Shed:     true,
+	}
+	a, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrivals = NewPoisson(300) // fresh cursor, same process
+	b, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == "" || a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	if *a != *b {
+		t.Fatalf("results differ:\n%+v\n%+v", a, b)
+	}
+	cfg.Seed = 12
+	cfg.Arrivals = NewPoisson(300)
+	c, err := RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint == a.Fingerprint {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+func TestRunSimSheddingBeatsUnboundedQueueAtOverload(t *testing.T) {
+	// Offered 2x aggregate capacity: with an unbounded queue every
+	// request is served eventually but waits grow without bound, so
+	// goodput (completions within SLO) collapses and the tail explodes.
+	// Bounded-queue shedding keeps served requests fast.
+	base := SimConfig{
+		Nodes:    10,
+		Seed:     21,
+		Requests: 1500,
+		Workload: Workload{Files: 50},
+		NodeRate: 20, // aggregate capacity 200/s
+		Depth:    8,
+		SLO:      500 * time.Millisecond,
+	}
+	off := base
+	off.Arrivals = NewConstant(400) // 2x capacity
+	off.Shed = false
+	noShed, err := RunSim(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.Arrivals = NewConstant(400)
+	on.Shed = true
+	shed, err := RunSim(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noShed.Shed != 0 {
+		t.Fatalf("unbounded queue shed %d requests", noShed.Shed)
+	}
+	if shed.Shed == 0 {
+		t.Fatal("admission control shed nothing at 2x capacity")
+	}
+	if shed.Goodput() <= noShed.Goodput() {
+		t.Fatalf("goodput with shedding %.1f/s <= without %.1f/s",
+			shed.Goodput(), noShed.Goodput())
+	}
+	if shed.P(99) >= noShed.P(99) {
+		t.Fatalf("p99 with shedding %v >= without %v", shed.P(99), noShed.P(99))
+	}
+}

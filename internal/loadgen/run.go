@@ -1,0 +1,196 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"past/internal/id"
+	"past/internal/netsim"
+	"past/internal/past"
+	"past/internal/stats"
+	"past/internal/trace"
+)
+
+// Client is one access point as the driver sees it: an in-process node
+// (NodeClient), or a remote one reached over TCP (cmd/past-load adapts
+// transport.InvokeAddr). Implementations must be safe for concurrent
+// calls.
+type Client interface {
+	// Insert stores a file and returns its fileId.
+	Insert(name string, size int64, content []byte) (id.File, error)
+	// Lookup fetches a file, reporting whether it was found.
+	Lookup(f id.File) (bool, error)
+}
+
+// Config shapes a real-clock run.
+type Config struct {
+	// Arrivals is the arrival process. Default NewConstant(200).
+	Arrivals Arrivals
+	// Requests is the total number of requests to issue. Required.
+	Requests int
+	// Seed makes the schedule (not the measured latencies)
+	// reproducible.
+	Seed int64
+	// Workload is the request mix.
+	Workload Workload
+	// Concurrency caps in-flight requests: the open loop keeps firing
+	// on schedule, but at most this many requests are on the wire at
+	// once — excess sends queue, and their queueing time is *included*
+	// in measured latency (the coordinated-omission correction). Zero
+	// means unbounded: one goroutine per request.
+	Concurrency int
+	// SLO classifies a completion as good. Default 500ms.
+	SLO time.Duration
+}
+
+// Run drives cfg.Requests requests against c on the real clock and
+// aggregates the outcome. The schedule is fixed up front from the
+// seed; a request whose intended time has passed is sent immediately
+// and its lateness counts against its latency.
+func Run(cfg Config, c Client) (*Result, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests must be > 0")
+	}
+	if cfg.Arrivals == nil {
+		cfg.Arrivals = NewConstant(200)
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 500 * time.Millisecond
+	}
+	w := cfg.Workload.withDefaults()
+	ops := schedule(cfg.Arrivals, w, cfg.Requests, stats.NewRand(cfg.Seed))
+
+	var (
+		mu  sync.Mutex
+		ids = make([]id.File, w.Files)
+		res = &Result{}
+	)
+	start := time.Now()
+	exec := func(o op) {
+		intended := start.Add(o.At)
+		var found bool
+		var err error
+		served := true
+		if o.Op == trace.OpInsert {
+			content := payload(o.File, o.Size)
+			var fid id.File
+			fid, err = c.Insert(trace.FileName(o.File), o.Size, content)
+			if err == nil {
+				mu.Lock()
+				ids[o.File] = fid
+				mu.Unlock()
+				found = true
+			}
+		} else {
+			mu.Lock()
+			fid := ids[o.File]
+			mu.Unlock()
+			if fid.IsZero() {
+				// The insert this lookup depends on has not completed
+				// yet (open loop: nothing waits). Count the miss
+				// without a wire round trip.
+				served = false
+			} else {
+				found, err = c.Lookup(fid)
+			}
+		}
+		lat := time.Since(intended)
+
+		mu.Lock()
+		defer mu.Unlock()
+		res.Issued++
+		switch {
+		case err == nil && found:
+			res.OK++
+			if lat <= cfg.SLO {
+				res.Good++
+			}
+		case err == nil:
+			res.NotFound++
+		case errors.Is(err, netsim.ErrOverloaded):
+			res.Shed++
+		default:
+			res.Errors++
+		}
+		if err == nil && served {
+			res.Latency.Record(lat.Nanoseconds())
+		}
+	}
+
+	var wg sync.WaitGroup
+	if cfg.Concurrency > 0 {
+		ch := make(chan op)
+		for i := 0; i < cfg.Concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for o := range ch {
+					sleepUntil(start.Add(o.At))
+					exec(o)
+				}
+			}()
+		}
+		for _, o := range ops {
+			ch <- o
+		}
+		close(ch)
+	} else {
+		for _, o := range ops {
+			sleepUntil(start.Add(o.At))
+			wg.Add(1)
+			go func(o op) {
+				defer wg.Done()
+				exec(o)
+			}(o)
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func sleepUntil(t time.Time) {
+	if d := time.Until(t); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// payload deterministically fills a file's content from its index, so
+// re-runs insert identical bytes.
+func payload(file int32, size int64) []byte {
+	b := make([]byte, size)
+	r := rand.New(rand.NewSource(int64(file) + 1))
+	r.Read(b)
+	return b
+}
+
+// NodeClient adapts an in-process PAST node to the Client interface:
+// the node acts as the driver's access point, exactly as it would for
+// a TCP client.
+type NodeClient struct {
+	Node *past.Node
+}
+
+// Insert implements Client.
+func (nc NodeClient) Insert(name string, size int64, content []byte) (id.File, error) {
+	res, err := nc.Node.Insert(past.InsertSpec{Name: name, Size: size, Content: content})
+	if err != nil {
+		return id.File{}, err
+	}
+	if !res.OK {
+		return id.File{}, fmt.Errorf("loadgen: insert rejected: %s", res.Reason)
+	}
+	return res.FileID, nil
+}
+
+// Lookup implements Client.
+func (nc NodeClient) Lookup(f id.File) (bool, error) {
+	res, err := nc.Node.Lookup(f)
+	if err != nil {
+		return false, err
+	}
+	return res.Found, nil
+}

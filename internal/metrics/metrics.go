@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"past/internal/id"
+	"past/internal/stats"
 )
 
 // InsertSample records one client-level insert operation.
@@ -55,6 +56,11 @@ type Collector struct {
 
 	Inserts []InsertSample
 	Lookups []LookupSample
+
+	// Latencies accumulates client-operation latencies in nanoseconds
+	// into a log-bucketed histogram (fed by RecordLatency; the load
+	// generator records from intended send time).
+	Latencies stats.LogHist
 
 	// Per-sample downsampling state (SetSampleCap). A stride of n keeps
 	// every nth offered sample, counted from the first; zero or one keeps
@@ -271,6 +277,64 @@ func (c *Collector) Reroutes() int64 { return c.reroutes.Load() }
 
 // PartialInserts returns the number of partial-success inserts.
 func (c *Collector) PartialInserts() int64 { return c.partialInserts.Load() }
+
+// RecordLatency adds one client-operation latency observation in
+// nanoseconds.
+func (c *Collector) RecordLatency(nanos int64) {
+	c.Latencies.Record(nanos)
+}
+
+// LatencyQuantile returns the p-th percentile (0-100) of recorded
+// latencies in nanoseconds. The summary interpolates linearly between
+// the edges of the histogram bucket the rank lands in — not
+// nearest-rank, which would snap every report to a bucket boundary and
+// make p999 jump in ~3% steps as samples arrive.
+func (c *Collector) LatencyQuantile(p float64) float64 {
+	return c.Latencies.Quantile(p)
+}
+
+// LatencySummary returns the p50, p99, and p999 latencies in
+// nanoseconds.
+func (c *Collector) LatencySummary() (p50, p99, p999 float64) {
+	return c.Latencies.Quantile(50), c.Latencies.Quantile(99), c.Latencies.Quantile(99.9)
+}
+
+// LookupHopPercentile returns the interpolated p-th percentile of
+// routing hops over found lookups.
+func (c *Collector) LookupHopPercentile(p float64) float64 {
+	var hops []int64
+	for _, s := range c.Lookups {
+		if s.Found {
+			hops = append(hops, int64(s.Hops))
+		}
+	}
+	if len(hops) == 0 {
+		return 0
+	}
+	sortInt64(hops)
+	return stats.PercentileInterp(hops, p)
+}
+
+func sortInt64(xs []int64) {
+	// Insertion-free path for the tiny hop-count domain: counting sort.
+	var max int64
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	counts := make([]int64, max+1)
+	for _, x := range xs {
+		counts[x]++
+	}
+	i := 0
+	for v, n := range counts {
+		for ; n > 0; n-- {
+			xs[i] = int64(v)
+			i++
+		}
+	}
+}
 
 // RecordLookup adds a client-side lookup sample.
 func (c *Collector) RecordLookup(util float64, hops int, found, fromCache bool) {

@@ -255,3 +255,63 @@ func TestLookupsByUtilNaNAndNegative(t *testing.T) {
 		t.Fatalf("total bucketed samples = %d; want 2", total)
 	}
 }
+
+func TestLatencyQuantileInterpolatesBetweenBucketEdges(t *testing.T) {
+	// Regression pin for the percentile-summary fix: quantiles must
+	// interpolate between log-histogram bucket edges, not snap to a
+	// boundary (nearest-rank). All samples sit inside one wide bucket —
+	// a nearest-rank summary would report the same edge for every p.
+	c := NewCollector(0, 1)
+	for i := 0; i < 500; i++ {
+		c.RecordLatency(1 << 20)       // bucket [1048576, 1081344)
+		c.RecordLatency(1<<20 + 30000) // same bucket
+	}
+	q25, q75 := c.LatencyQuantile(25), c.LatencyQuantile(75)
+	if !(q25 > 1<<20 && q75 > q25 && q75 < float64(1<<20+30000)) {
+		t.Fatalf("not interpolating within bucket: q25=%g q75=%g", q25, q75)
+	}
+}
+
+func TestLatencySummaryP999Consistency(t *testing.T) {
+	// p999 reported by the collector must agree with the underlying
+	// histogram's interpolated quantile exactly, and must be within one
+	// sub-bucket (~3%) of the exact order-statistic percentile.
+	c := NewCollector(0, 1)
+	exact := make([]int64, 0, 10000)
+	for i := 1; i <= 10000; i++ {
+		v := int64(i) * 1000 // 1µs .. 10ms in 1µs steps, in ns
+		exact = append(exact, v)
+		c.RecordLatency(v)
+	}
+	_, _, p999 := c.LatencySummary()
+	if got := c.Latencies.Quantile(99.9); got != p999 {
+		t.Fatalf("summary p999 %g != histogram quantile %g", p999, got)
+	}
+	want := float64(9_990_000) // exact p999 of the uniform grid (~)
+	if math.Abs(p999-want)/want > 0.04 {
+		t.Fatalf("p999 = %g; want within 4%% of %g", p999, want)
+	}
+	p50, p99, _ := c.LatencySummary()
+	if !(p50 < p99 && p99 < p999) {
+		t.Fatalf("quantiles not monotone: p50=%g p99=%g p999=%g", p50, p99, p999)
+	}
+}
+
+func TestLookupHopPercentile(t *testing.T) {
+	c := NewCollector(0, 1)
+	if c.LookupHopPercentile(99) != 0 {
+		t.Fatal("empty collector must report 0")
+	}
+	hops := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	for _, h := range hops {
+		c.RecordLookup(0.1, h, true, false)
+	}
+	c.RecordLookup(0.1, 100, false, false) // not found: excluded
+	// sorted found hops: 1 1 2 3 4 5 6 9; p50 = 3.5 interpolated
+	if got := c.LookupHopPercentile(50); math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("p50 hops = %g; want 3.5", got)
+	}
+	if got := c.LookupHopPercentile(100); got != 9 {
+		t.Fatalf("p100 hops = %g; want 9", got)
+	}
+}

@@ -40,17 +40,25 @@ var (
 	// sender). Unlike ErrNodeDown it carries no claim that the peer is
 	// dead — only that this exchange failed.
 	ErrTimeout = errors.New("netsim: timeout")
+	// ErrOverloaded reports a request shed by a node's admission control
+	// (internal/admit): the node is alive but refusing work because its
+	// request queue is saturated. It is retryable — a different replica,
+	// hop, or a later (extra-backed-off) attempt may find capacity — and
+	// it is the signal the routing layer reroutes around and the retry
+	// layer slows down for.
+	ErrOverloaded = errors.New("netsim: node overloaded")
 )
 
 // Retryable reports whether err is a transient delivery failure that a
 // different attempt (another hop, another replica, a later retry) could
-// plausibly get past: a down or unknown node, or a timeout. Application
-// errors and context cancellation (the caller gave up) are not
-// retryable.
+// plausibly get past: a down, unknown, or overloaded node, or a
+// timeout. Application errors and context cancellation (the caller gave
+// up) are not retryable.
 func Retryable(err error) bool {
 	return errors.Is(err, ErrNodeDown) ||
 		errors.Is(err, ErrUnknownNode) ||
-		errors.Is(err, ErrTimeout)
+		errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrOverloaded)
 }
 
 // CtxErr maps a context failure onto the delivery-error taxonomy: a

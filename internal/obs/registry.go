@@ -47,6 +47,11 @@ type NodeStats struct {
 	// Resilience-layer events on client operations at this access point.
 	Retries, Hedges, HedgeWins, PartialInserts atomic.Int64
 
+	// LoadSteers counts hedged lookups whose primary attempt was
+	// proactively entered through an alternate first hop because the
+	// preferred one advertised saturation via a load hint.
+	LoadSteers atomic.Int64
+
 	// RPC latency histogram for outgoing invokes (wall clock; reported,
 	// never replayed).
 	RPCTimeNanos atomic.Int64
@@ -84,6 +89,7 @@ const (
 	CtrHedges          = "hedges_total"
 	CtrHedgeWins       = "hedge_wins_total"
 	CtrPartialInserts  = "partial_inserts_total"
+	CtrLoadSteers      = "load_steers_total"
 
 	// Names the owning node fills in at snapshot time (gauges and
 	// counters held by other subsystems).
@@ -97,6 +103,7 @@ const (
 	CtrCacheMisses    = "cache_misses_total"
 	CtrCacheEvictions = "cache_evictions_total"
 	CtrReroutes       = "reroutes_total"
+	CtrOverloadHops   = "overload_hops_total"
 	CtrLeafRepairs    = "leaf_repairs_total"
 	CtrLeafSetSize    = "leaf_set_size"
 	CtrTableEntries   = "routing_table_entries"
@@ -159,6 +166,7 @@ func (s *NodeStats) Snapshot() Snapshot {
 			CtrHedges:          s.Hedges.Load(),
 			CtrHedgeWins:       s.HedgeWins.Load(),
 			CtrPartialInserts:  s.PartialInserts.Load(),
+			CtrLoadSteers:      s.LoadSteers.Load(),
 		},
 		RPCLat: make([]int64, LatencyBucketCount),
 	}
@@ -232,6 +240,46 @@ func (s Snapshot) TotalRPCs() int64 {
 		n += v
 	}
 	return n
+}
+
+// RPCQuantile returns the p-th percentile (0-100) of the RPC-latency
+// histogram, interpolating linearly between the edges of the bucket the
+// rank lands in rather than snapping to a boundary. The overflow bucket
+// has no upper edge; mass landing there reports its lower edge. Returns
+// 0 when the histogram is empty.
+func (s Snapshot) RPCQuantile(p float64) time.Duration {
+	total := s.TotalRPCs()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := p / 100 * float64(total)
+	var cum int64
+	for i, c := range s.RPCLat {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) >= target {
+			hi := LatencyBucketBound(i)
+			if hi < 0 { // +Inf overflow: report the bucket's lower edge
+				return LatencyBucketBound(i - 1)
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = LatencyBucketBound(i - 1)
+			}
+			frac := (target - prev) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+	}
+	return 0
 }
 
 // Aggregate sums snapshots counter-by-counter and bucket-by-bucket —

@@ -128,9 +128,36 @@ func (n *Node) Deliver(from id.Node, msg any) (any, error) {
 		return n.handlePointerCheck(m), nil
 	case *divertedHolderLeaving:
 		return n.handleDivertedHolderLeaving(m), nil
-	case *ClientInsert, *ClientLookup, *ClientReclaim, *ClientStatus, *ClientStats:
+	case *ClientInsert, *ClientLookup, *ClientReclaim:
+		// Mutating/serving client RPCs queue at the admission gate
+		// (blocking mode: the TCP server has a real caller to park).
+		if n.admitCtl != nil {
+			if err := n.admitCtl.Admit(context.Background()); err != nil {
+				return nil, err
+			}
+		}
+		return n.handleClientRPC(msg)
+	case *ClientStatus, *ClientStats:
+		// Introspection stays ungated: an operator must be able to read
+		// load stats from an overloaded node.
 		return n.handleClientRPC(msg)
 	default:
+		// Routed client work arriving over the network (this node is a
+		// hop or the consumer for someone else's lookup/insert/reclaim)
+		// is gated non-blocking: a shed surfaces as ErrOverloaded at the
+		// upstream hop, which reroutes around us without evicting us.
+		// Overlay control traffic — joins, pings, state exchange,
+		// maintenance — is never gated.
+		if n.admitCtl != nil {
+			if rr, ok := msg.(*pastry.RouteRequest); ok {
+				switch rr.Payload.(type) {
+				case *LookupMsg, *InsertMsg, *ReclaimMsg:
+					if err := n.admitCtl.TryAdmit(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
 		return n.overlay.Deliver(from, msg)
 	}
 }

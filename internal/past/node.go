@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"past/internal/admit"
 	"past/internal/cache"
 	"past/internal/cert"
 	"past/internal/id"
@@ -90,6 +91,15 @@ type Config struct {
 	// node (every Nth, deterministically) and records their per-hop
 	// route traces. Nil traces nothing and costs nothing.
 	Tracer *obs.Tracer
+	// Admit, when non-nil, enables per-node admission control: routed
+	// client work (lookups, inserts, reclaims arriving over the
+	// network) and client RPCs are gated by a token bucket with a
+	// bounded queue; excess load is shed with netsim.ErrOverloaded and
+	// replies piggyback a load hint. Nil admits everything — exactly
+	// the pre-admission behavior. Maintenance, join, and keep-alive
+	// traffic is never gated: shedding repair work under load would
+	// trade overload for durability loss.
+	Admit *admit.Config
 }
 
 // DefaultConfig returns the paper's parameters: k=5, tpri=0.1,
@@ -178,6 +188,13 @@ type Node struct {
 	rng   *rand.Rand
 	retry retryState
 
+	// admission control (nil when Config.Admit is nil)
+	admitCtl *admit.Controller
+	// loadHints caches the most recent admission-load hint piggybacked
+	// by each next hop, for load-steered hedging.
+	loadMu    sync.Mutex
+	loadHints map[id.Node]uint8
+
 	// maintenance state
 	maintaining     bool
 	maintainPending bool
@@ -215,6 +232,15 @@ func NewWithStore(nid id.Node, net netsim.Net, cfg Config, backend store.Backend
 			rm.RecordReroute()
 		}
 	}
+	if cfg.Admit != nil {
+		n.admitCtl = admit.New(*cfg.Admit)
+		n.overlay.LoadFunc = n.admitCtl.LoadHint
+	}
+	// Load hints are captured whether or not this node itself runs
+	// admission control: a hint-free node still steers around loaded
+	// peers.
+	n.loadHints = make(map[id.Node]uint8)
+	n.overlay.OnLoadHint = n.noteLoadHint
 	n.cache.SetLimit(n.store.Free())
 	if cfg.K > n.overlay.Config().L/2+1 {
 		panic(fmt.Sprintf("past: k=%d exceeds l/2+1=%d", cfg.K, n.overlay.Config().L/2+1))
@@ -356,9 +382,34 @@ func (n *Node) StatsSnapshot() obs.Snapshot {
 	n.mu.Unlock()
 	snap.Set(obs.CtrReroutes, n.overlay.Reroutes())
 	snap.Set(obs.CtrLeafRepairs, n.overlay.LeafRepairs())
+	snap.Set(obs.CtrOverloadHops, n.overlay.OverloadHops())
 	snap.Set(obs.CtrLeafSetSize, int64(len(n.overlay.LeafSet())))
 	snap.Set(obs.CtrTableEntries, int64(n.overlay.TableSize()))
+	if n.admitCtl != nil {
+		for name, v := range n.admitCtl.ObsCounters() {
+			snap.Set(name, v)
+		}
+	}
 	return snap
+}
+
+// AdmitController returns the node's admission controller, or nil when
+// admission control is disabled.
+func (n *Node) AdmitController() *admit.Controller { return n.admitCtl }
+
+// noteLoadHint records the latest admission-load hint observed for a
+// next hop (piggybacked on route replies, or implied by a shed).
+func (n *Node) noteLoadHint(hop id.Node, load uint8) {
+	n.loadMu.Lock()
+	n.loadHints[hop] = load
+	n.loadMu.Unlock()
+}
+
+// loadHintFor returns the last known load hint for a hop (0 if none).
+func (n *Node) loadHintFor(hop id.Node) uint8 {
+	n.loadMu.Lock()
+	defer n.loadMu.Unlock()
+	return n.loadHints[hop]
 }
 
 // issueStoreReceipt signs a store receipt if a smartcard is installed.

@@ -2,6 +2,7 @@ package past
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"time"
@@ -50,6 +51,12 @@ type RetryPolicy struct {
 	// harnesses). Nil uses time.Sleep; with BaseDelay 0 it is never
 	// called.
 	Sleep func(time.Duration)
+	// OverloadFactor multiplies the backoff before a retry whose
+	// previous attempt failed with netsim.ErrOverloaded. An overloaded
+	// replica needs its queue to drain, not an eager re-attempt that
+	// deepens it — so overload backs off harder than a dead-node
+	// timeout. Zero selects 2; 1 disables the extra backoff.
+	OverloadFactor float64
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -58,6 +65,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.MaxDelay == 0 && p.BaseDelay > 0 {
 		p.MaxDelay = 32 * p.BaseDelay
+	}
+	if p.OverloadFactor <= 0 {
+		p.OverloadFactor = 2
 	}
 	return p
 }
@@ -173,7 +183,13 @@ func (n *Node) retryLoop(ctx context.Context, unsatisfied func(any) bool, fn fun
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			n.recordRetry()
-			pol.sleep(n.retryJitter(pol, attempt))
+			d := n.retryJitter(pol, attempt)
+			if lastErr != nil && errors.Is(lastErr, netsim.ErrOverloaded) {
+				// Retryable-with-extra-backoff: give the shedding node's
+				// queue time to drain before offering it more work.
+				d = time.Duration(float64(d) * pol.OverloadFactor)
+			}
+			pol.sleep(d)
 			if err := netsim.CtxErr(ctx); err != nil {
 				break
 			}
@@ -222,10 +238,43 @@ func (n *Node) hedged(ctx context.Context, pol RetryPolicy, key id.Node,
 		return route(ctx, id.Node{})
 	}
 	primaryHop := n.overlay.FirstHop(key)
+	if !primaryHop.IsZero() && n.steerAroundLoad(primaryHop) {
+		// The preferred entry point advertised saturation via a load
+		// hint: swap the roles so the *primary* attempt enters through
+		// an alternate first hop and the loaded one is only tried as
+		// the fallback. No RNG draws — deterministic under fixed seeds.
+		n.st().LoadSteers.Add(1)
+		inner := route
+		route = func(ctx context.Context, avoid id.Node) (any, error) {
+			if avoid.IsZero() {
+				return inner(ctx, primaryHop)
+			}
+			return inner(ctx, id.Node{})
+		}
+	}
 	if pol.HedgeDelay <= 0 {
 		return n.hedgeSequential(ctx, primaryHop, route, ok)
 	}
 	return n.hedgeConcurrent(ctx, pol, primaryHop, route, ok)
+}
+
+// loadSteerThreshold is the hint level (out of 255) above which hedged
+// lookups proactively avoid a first hop: ~78% queue occupancy.
+const loadSteerThreshold = 200
+
+// steerAroundLoad reports whether hop's last known load hint crosses
+// the steering threshold. A consumed hint decays by half so avoidance
+// is not permanent: unless fresh replies or sheds renew the signal, the
+// hop is offered traffic again after a few operations.
+func (n *Node) steerAroundLoad(hop id.Node) bool {
+	n.loadMu.Lock()
+	defer n.loadMu.Unlock()
+	h := n.loadHints[hop]
+	if h < loadSteerThreshold {
+		return false
+	}
+	n.loadHints[hop] = h / 2
+	return true
 }
 
 // hedgeSequential is the deterministic failover hedge: run the primary

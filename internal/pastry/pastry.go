@@ -127,8 +127,9 @@ type Node struct {
 	rng    *rand.Rand
 	joined bool
 
-	reroutes    atomic.Int64
-	leafRepairs atomic.Int64
+	reroutes     atomic.Int64
+	leafRepairs  atomic.Int64
+	overloadHops atomic.Int64
 
 	// OnLeafSetChange, if set, is called (without the node lock held)
 	// after any mutation of the leaf set. PAST uses it to re-establish
@@ -140,6 +141,20 @@ type Node struct {
 	// alternate). The metrics layer counts these. Called without the
 	// node lock held.
 	OnReroute func(dead id.Node)
+
+	// LoadFunc, if set, reports this node's current admission-control
+	// load (0 idle .. 255 saturated). Replies to routed requests this
+	// node relayed or consumed are stamped with it, so upstream nodes
+	// learn how loaded their next hops are. Must be safe for concurrent
+	// use.
+	LoadFunc func() uint8
+
+	// OnLoadHint, if set, observes the load hint piggybacked on each
+	// route reply received from a next hop (and a synthetic 255 when a
+	// hop sheds with ErrOverloaded). PAST uses it to steer hedged
+	// lookups toward less-loaded entry points. Called without the node
+	// lock held; must be safe for concurrent use.
+	OnLoadHint func(hop id.Node, load uint8)
 }
 
 // New creates a node with the given identifier. app may be nil, in which
@@ -194,6 +209,11 @@ func (n *Node) Reroutes() int64 { return n.reroutes.Load() }
 // LeafRepairs returns how many CheckLeafSet rounds actually changed the
 // leaf set (dead members dropped or missing neighbors re-learned).
 func (n *Node) LeafRepairs() int64 { return n.leafRepairs.Load() }
+
+// OverloadHops returns how many next hops answered ErrOverloaded and
+// were routed around (without being evicted — an overloaded node is
+// alive).
+func (n *Node) OverloadHops() int64 { return n.overloadHops.Load() }
 
 // notifyLeafChange invokes the leaf-set callback outside the lock.
 func (n *Node) notifyLeafChange() {

@@ -130,7 +130,7 @@ func (n *Node) routeAvoiding(ctx context.Context, key id.Node, payload any, trac
 				req.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
 			}
 			tried[next] = true
-			n.noteHopFailure(next)
+			n.noteHopRejection(next, err)
 			continue
 		}
 		if err != nil {
@@ -143,6 +143,7 @@ func (n *Node) routeAvoiding(ctx context.Context, key id.Node, payload any, trac
 		if traced && mark < len(rr.Trace) {
 			rr.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
 		}
+		n.noteLoadHint(next, rr.Load)
 		n.app.Backward(key, payload, rr.Payload)
 		return rr.Payload, rr.Hops, rr.Trace, nil
 	}
@@ -157,6 +158,32 @@ func (n *Node) invokeHop(ctx context.Context, next id.Node, req *RouteRequest) (
 		defer cancel()
 	}
 	return n.net.Invoke(ctx, n.self, next, req)
+}
+
+// noteHopRejection dispatches a retryable hop error to the right
+// bookkeeping: an overloaded hop is alive — it is routed around for
+// this request but kept in the routing state (evicting it would tear
+// down leaf sets every time a node saturates); anything else is
+// presumed dead.
+func (n *Node) noteHopRejection(next id.Node, err error) {
+	if errors.Is(err, netsim.ErrOverloaded) {
+		n.overloadHops.Add(1)
+		// A shed is the strongest possible load signal.
+		n.noteLoadHint(next, 255)
+		return
+	}
+	n.noteHopFailure(next)
+}
+
+// noteLoadHint reports a hop's piggybacked (or shed-implied) load to
+// the application hook.
+func (n *Node) noteLoadHint(hop id.Node, load uint8) {
+	if load == 0 {
+		return
+	}
+	if cb := n.OnLoadHint; cb != nil {
+		cb(hop, load)
+	}
 }
 
 // noteHopFailure records a next hop found dead mid-route: drop it from
@@ -266,7 +293,7 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 				tried = make(map[id.Node]bool)
 			}
 			tried[next] = true
-			n.noteHopFailure(next)
+			n.noteHopRejection(next, err)
 			continue
 		}
 		if err != nil {
@@ -281,6 +308,7 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 			// trace as it propagates back toward the origin.
 			rr.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
 		}
+		n.noteLoadHint(next, rr.Load)
 		if !isJoin {
 			n.app.Backward(req.Key, req.Payload, rr.Payload)
 		}

@@ -12,6 +12,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 )
@@ -113,6 +114,23 @@ func (l LogNormal) Sample(r *rand.Rand) float64 {
 	return math.Exp(r.NormFloat64()*l.Sigma + l.Mu)
 }
 
+// Exponential is the exponential distribution with the given rate
+// (events per unit time); its samples are the inter-arrival times of a
+// Poisson process with that rate. The open-loop load generator and the
+// churn models draw arrival gaps from it.
+type Exponential struct {
+	// Rate is the event rate; the mean inter-arrival time is 1/Rate.
+	Rate float64
+}
+
+// Sample draws one inter-arrival time.
+func (e Exponential) Sample(r *rand.Rand) float64 {
+	if e.Rate <= 0 {
+		panic(fmt.Sprintf("stats: exponential needs rate > 0, got %g", e.Rate))
+	}
+	return r.ExpFloat64() / e.Rate
+}
+
 // SizeDist produces integer file sizes: a lognormal body clamped to
 // [Min, Max], with an optional probability PZero of an empty file (both
 // paper workloads contain zero-byte files).
@@ -184,6 +202,183 @@ func Percentile(sorted []int64, p float64) int64 {
 		idx = 0
 	}
 	return sorted[idx]
+}
+
+// PercentileInterp returns the p-th percentile (0-100) of an
+// ascending-sorted sample with linear interpolation between adjacent
+// order statistics (the "C = 1" variant spreadsheet software uses).
+// Unlike nearest-rank Percentile it is continuous in p, which matters
+// when reporting tail quantiles like p999 from modest sample counts.
+func PercentileInterp(sorted []int64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return float64(sorted[0])
+	}
+	if p >= 100 {
+		return float64(sorted[n-1])
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return float64(sorted[n-1])
+	}
+	return float64(sorted[lo]) + frac*float64(sorted[lo+1]-sorted[lo])
+}
+
+// logHistSub is the number of sub-buckets per power-of-two octave in a
+// LogHist. 32 sub-buckets bound the relative quantization error of any
+// recorded value by 1/32 ≈ 3%, at 5 significant bits of precision —
+// the classic HDR-histogram layout.
+const logHistSub = 32
+
+// logHistBuckets spans values up to 2^63-1: octave of the largest value
+// is 62 (bits.Len64 = 63), so the highest index is 57*32+63.
+const logHistBuckets = 58*logHistSub + logHistSub
+
+// LogHist is a log-bucketed histogram for non-negative int64
+// observations (latencies in nanoseconds, sizes in bytes). Buckets are
+// exact below logHistSub and then logHistSub-per-octave, so quantile
+// error is bounded relative to the value, not absolute — p999 of a
+// 10s tail is as trustworthy as p50 of a 100µs body. The zero value is
+// ready to use. Not safe for concurrent use; shard and Merge instead.
+type LogHist struct {
+	counts [logHistBuckets]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// logBucket maps a value to its bucket index.
+func logBucket(v int64) int {
+	if v < logHistSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 6 // 6 = log2(logHistSub) + 1
+	return exp*logHistSub + int(v>>uint(exp))
+}
+
+// LogBucketLo returns the inclusive lower bound of bucket i.
+func LogBucketLo(i int) int64 {
+	if i < 2*logHistSub {
+		return int64(i)
+	}
+	exp := i/logHistSub - 1
+	return int64(i-exp*logHistSub) << uint(exp)
+}
+
+// LogBucketHi returns the exclusive upper bound of bucket i, saturating
+// at MaxInt64 for the topmost bucket (whose true bound is 2^63).
+func LogBucketHi(i int) int64 {
+	if i < 2*logHistSub {
+		return int64(i) + 1
+	}
+	exp := i/logHistSub - 1
+	hi := LogBucketLo(i) + int64(1)<<uint(exp)
+	if hi <= 0 {
+		return math.MaxInt64
+	}
+	return hi
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *LogHist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[logBucket(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *LogHist) Count() int64 { return h.n }
+
+// Sum returns the sum of observations.
+func (h *LogHist) Sum() int64 { return h.sum }
+
+// Min returns the smallest observation (0 if empty).
+func (h *LogHist) Min() int64 { return h.min }
+
+// Max returns the largest observation (0 if empty).
+func (h *LogHist) Max() int64 { return h.max }
+
+// Mean returns the mean observation (0 if empty).
+func (h *LogHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge adds all of o's observations into h.
+func (h *LogHist) Merge(o *LogHist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Quantile returns the p-th percentile (0-100), interpolating linearly
+// between the edges of the bucket the target rank lands in rather than
+// snapping to a bucket boundary (nearest-rank), and clamping to the
+// recorded min/max so an interpolated tail never exceeds an observed
+// value. Returns 0 on an empty histogram.
+func (h *LogHist) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return float64(h.min)
+	}
+	if p >= 100 {
+		return float64(h.max)
+	}
+	target := p / 100 * float64(h.n)
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) >= target {
+			lo, hi := float64(LogBucketLo(i)), float64(LogBucketHi(i))
+			frac := (target - prev) / float64(c)
+			v := lo + frac*(hi-lo)
+			if v < float64(h.min) {
+				v = float64(h.min)
+			}
+			if v > float64(h.max) {
+				v = float64(h.max)
+			}
+			return v
+		}
+	}
+	return float64(h.max)
 }
 
 // Histogram counts observations in fixed-width buckets over [Lo, Hi).

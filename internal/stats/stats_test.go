@@ -203,6 +203,195 @@ func TestPercentileWithinRange(t *testing.T) {
 	}
 }
 
+func TestExponentialMoments(t *testing.T) {
+	// At a fixed seed the empirical mean and variance of exponential
+	// inter-arrival samples must match 1/rate and 1/rate^2 within a few
+	// percent — the distribution test the loadgen arrival process leans on.
+	r := NewRand(11)
+	e := Exponential{Rate: 250} // 250 req/s -> mean gap 4ms
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := e.Sample(r)
+		if v < 0 {
+			t.Fatalf("negative inter-arrival time %g", v)
+		}
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	wantMean := 1.0 / e.Rate
+	wantVar := 1.0 / (e.Rate * e.Rate)
+	if math.Abs(mean-wantMean)/wantMean > 0.02 {
+		t.Fatalf("mean = %g; want %g within 2%%", mean, wantMean)
+	}
+	if math.Abs(variance-wantVar)/wantVar > 0.05 {
+		t.Fatalf("variance = %g; want %g within 5%%", variance, wantVar)
+	}
+}
+
+func TestExponentialDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	e := Exponential{Rate: 10}
+	for i := 0; i < 1000; i++ {
+		if e.Sample(a) != e.Sample(b) {
+			t.Fatal("exponential sampling not deterministic")
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for rate <= 0")
+		}
+	}()
+	Exponential{Rate: 0}.Sample(NewRand(1))
+}
+
+func TestPercentileInterp(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 100},
+		{50, 55},   // midpoint of the 5th and 6th order statistics
+		{25, 32.5}, // rank 2.25 -> 30 + 0.25*10
+		{90, 91},   // rank 8.1 -> 90 + 0.1*10
+		{99, 99.1}, // rank 8.91 -> 90 + 0.91*10
+	}
+	for _, c := range cases {
+		if g := PercentileInterp(sorted, c.p); math.Abs(g-c.want) > 1e-9 {
+			t.Fatalf("P%g = %g; want %g", c.p, g, c.want)
+		}
+	}
+	if PercentileInterp(nil, 50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	if PercentileInterp([]int64{42}, 73) != 42 {
+		t.Fatal("single sample must be its own percentile")
+	}
+}
+
+func TestLogBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose [lo, hi) range contains it,
+	// and bucket bounds must tile the axis with no gaps or overlaps.
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 65, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range values {
+		i := logBucket(v)
+		lo, hi := LogBucketLo(i), LogBucketHi(i)
+		// The topmost bucket's bound saturates at MaxInt64, which is then
+		// inclusive.
+		if v < lo || (v >= hi && !(v == math.MaxInt64 && hi == math.MaxInt64)) {
+			t.Fatalf("value %d in bucket %d with range [%d,%d)", v, i, lo, hi)
+		}
+	}
+	for i := 0; i < 4*logHistSub; i++ {
+		if LogBucketHi(i) != LogBucketLo(i+1) {
+			t.Fatalf("bucket %d hi %d != bucket %d lo %d", i, LogBucketHi(i), i+1, LogBucketLo(i+1))
+		}
+	}
+}
+
+func TestLogHistRelativeError(t *testing.T) {
+	// The quantization error of any recorded value is bounded by one
+	// sub-bucket width: 1/logHistSub of the value.
+	var h LogHist
+	r := NewRand(9)
+	for i := 0; i < 5000; i++ {
+		v := int64(1 + r.Intn(1<<30))
+		i := logBucket(v)
+		lo, hi := LogBucketLo(i), LogBucketHi(i)
+		if float64(hi-lo) > float64(v)/float64(logHistSub)+1 {
+			t.Fatalf("bucket width %d too wide for value %d", hi-lo, v)
+		}
+		h.Record(v)
+	}
+	if h.Count() != 5000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestLogHistQuantileInterpolates(t *testing.T) {
+	// With all mass inside one wide bucket, quantiles must move smoothly
+	// across the bucket rather than snapping to an edge (nearest-rank).
+	// Bucket at 2^20 spans [1048576, 1081344) — both values land in it.
+	var h LogHist
+	for i := 0; i < 500; i++ {
+		h.Record(1 << 20)
+		h.Record(1<<20 + 30000)
+	}
+	lo := float64(int64(1) << 20)
+	q25, q75 := h.Quantile(25), h.Quantile(75)
+	if !(q25 > lo && q75 > q25 && q75 < float64(h.Max())) {
+		t.Fatalf("quantiles not interpolating within bucket: q25=%g q75=%g", q25, q75)
+	}
+	// Interpolation must never escape the observed range.
+	if h.Quantile(99.99) > float64(h.Max()) || h.Quantile(0.01) < float64(h.Min()) {
+		t.Fatal("quantile escaped [min,max]")
+	}
+}
+
+func TestLogHistQuantileAccuracy(t *testing.T) {
+	// Against a known sample, every reported quantile must be within one
+	// sub-bucket (~3%) of the exact interpolated percentile.
+	var h LogHist
+	r := NewRand(13)
+	xs := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := int64(100 + r.ExpFloat64()*50000)
+		xs = append(xs, v)
+		h.Record(v)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9} {
+		exact := PercentileInterp(xs, p)
+		got := h.Quantile(p)
+		if math.Abs(got-exact)/exact > 2.0/logHistSub {
+			t.Fatalf("P%g = %g; exact %g (rel err %g)", p, got, exact, math.Abs(got-exact)/exact)
+		}
+	}
+}
+
+func TestLogHistMergeAndMoments(t *testing.T) {
+	var a, b LogHist
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i)
+	}
+	for i := int64(101); i <= 200; i++ {
+		b.Record(i)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 || a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged moments: n=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+	if a.Sum() != 200*201/2 {
+		t.Fatalf("merged sum = %d", a.Sum())
+	}
+	if m := a.Mean(); math.Abs(m-100.5) > 1e-9 {
+		t.Fatalf("merged mean = %g", m)
+	}
+	var empty LogHist
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.Count() != 200 {
+		t.Fatal("merging empty changed the histogram")
+	}
+	if empty.Quantile(50) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestLogHistNegativeClamps(t *testing.T) {
+	var h LogHist
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record not clamped: %+v", h)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(0, 100, 10)
 	h.Add(5)

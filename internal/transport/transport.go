@@ -277,7 +277,7 @@ func isTimeout(err error) bool {
 // retry decisions) work identically over sockets and in-process. Any
 // unrecognized string stays an opaque application error.
 func rehydrateErr(s string) error {
-	for _, sentinel := range []error{netsim.ErrNodeDown, netsim.ErrUnknownNode, netsim.ErrTimeout} {
+	for _, sentinel := range []error{netsim.ErrNodeDown, netsim.ErrUnknownNode, netsim.ErrTimeout, netsim.ErrOverloaded} {
 		if strings.Contains(s, sentinel.Error()) {
 			return fmt.Errorf("%w: remote: %s", sentinel, s)
 		}
@@ -287,6 +287,8 @@ func rehydrateErr(s string) error {
 
 // InvokeAddr sends msg directly to a known address (used before the
 // destination's nodeId is known, e.g. the first bootstrap contact).
+// Remote errors are rehydrated onto the sentinel taxonomy, so callers
+// (the load driver, pastctl) can classify ErrOverloaded and friends.
 func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
 	c, err := t.dial(context.Background(), addr)
 	if err != nil {
@@ -301,7 +303,7 @@ func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, rehydrateErr(resp.Err)
 	}
 	return resp.Msg, nil
 }

@@ -9,9 +9,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"errors"
+
+	"past/internal/admit"
 	"past/internal/cache"
 	"past/internal/id"
+	"past/internal/netsim"
 	"past/internal/past"
 	"past/internal/pastry"
 	"past/internal/topology"
@@ -535,5 +540,177 @@ func TestStaleConnRetryAlsoFailingSurfacesError(t *testing.T) {
 	ct.mu.Unlock()
 	if pooled != 0 {
 		t.Fatalf("broken connection was pooled (%d)", pooled)
+	}
+}
+
+// admitTCPPair builds a two-node TCP overlay where only the second
+// node runs admission control against a frozen clock, plus a fileId
+// whose route from the first node enters through the gated one.
+func admitTCPPair(t *testing.T, retry *past.RetryPolicy, ac admit.Config) (client *past.Node, gated *past.Node, f id.File) {
+	t.Helper()
+	register()
+	rng := rand.New(rand.NewSource(42))
+	cfg := past.DefaultConfig()
+	// FailFast surfaces a hop's shed to the caller instead of absorbing
+	// it into per-hop reroute — the two-node topology has no alternate
+	// routes anyway, and these tests assert on the raw wire error.
+	cfg.Pastry = pastry.Config{B: 4, L: 8, FailFast: true}
+	cfg.K = 1
+	cfg.Retry = retry
+
+	a := startNode(t, rng, cfg, 1<<20)
+	a.node.Overlay().Bootstrap()
+
+	frozen := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	ac.Clock = func() time.Time { return frozen }
+	gcfg := cfg
+	gcfg.Retry = nil
+	gcfg.Admit = &ac
+	b := startNode(t, rng, gcfg, 1<<20)
+	bootID, err := b.t.Bootstrap(a.t.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.node.Overlay().Join(bootID); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.t.Close(); b.t.Close() })
+
+	// Find a missing fileId that a routes through b (misses are never
+	// cached, so every lookup re-crosses the wire).
+	for i := 0; i < 1000; i++ {
+		rng.Read(f[:])
+		if a.node.Overlay().FirstHop(f.Key()) == b.node.ID() {
+			return a.node, b.node, f
+		}
+	}
+	t.Fatal("no key routing a->b found")
+	return nil, nil, f
+}
+
+func TestTCPOverloadedRoundTripsWire(t *testing.T) {
+	// A gated node sheds a routed lookup; the shed must cross the real
+	// socket as a string and rehydrate into netsim.ErrOverloaded at the
+	// sender, where errors.Is classification drives rerouting/retry.
+	client, gated, f := admitTCPPair(t, nil, admit.Config{Rate: 1, Burst: 2, Depth: 1})
+	var overloaded error
+	for i := 0; i < 10 && overloaded == nil; i++ {
+		if _, err := client.Lookup(f); err != nil {
+			overloaded = err
+		}
+	}
+	if overloaded == nil {
+		t.Fatal("frozen token bucket never shed over TCP")
+	}
+	if !errors.Is(overloaded, netsim.ErrOverloaded) {
+		t.Fatalf("remote shed did not rehydrate to ErrOverloaded: %v", overloaded)
+	}
+	if gated.AdmitController().Shed() == 0 {
+		t.Fatal("gated node recorded no sheds")
+	}
+}
+
+func TestTCPOverloadHonoredByRetryBackoff(t *testing.T) {
+	// Identical runs except for OverloadFactor: same jitter seed, same
+	// shedding server, so the captured backoff sleeps must differ by
+	// exactly the factor — proving the policy classified the remote,
+	// rehydrated error as overload and backed off harder.
+	run := func(factor float64) []time.Duration {
+		var sleeps []time.Duration
+		client, _, f := admitTCPPair(t, &past.RetryPolicy{
+			MaxAttempts:    3,
+			BaseDelay:      10 * time.Millisecond,
+			JitterSeed:     7,
+			OverloadFactor: factor,
+			Sleep:          func(d time.Duration) { sleeps = append(sleeps, d) },
+		}, admit.Config{Rate: 1, Burst: 1, Depth: 1})
+		// Burn the gated node's entire frozen budget so every retry
+		// attempt below fails with a shed.
+		for i := 0; i < 4; i++ {
+			client.Lookup(f)
+		}
+		sleeps = nil
+		_, err := client.Lookup(f)
+		if !errors.Is(err, netsim.ErrOverloaded) {
+			t.Fatalf("factor %g: final error %v; want ErrOverloaded", factor, err)
+		}
+		return sleeps
+	}
+	flat := run(1)
+	doubled := run(2)
+	if len(flat) != 2 || len(doubled) != 2 {
+		t.Fatalf("want 2 backoff sleeps per run, got %d and %d", len(flat), len(doubled))
+	}
+	for i := range flat {
+		if flat[i] <= 0 {
+			t.Fatalf("backoff %d not positive: %v", i, flat[i])
+		}
+		if doubled[i] != 2*flat[i] {
+			t.Fatalf("backoff %d: %v with factor 2 vs %v with factor 1", i, doubled[i], flat[i])
+		}
+	}
+}
+
+func TestTCPConcurrentClientsAdmission(t *testing.T) {
+	// The satellite race test: many concurrent TCP clients hit one
+	// admission-gated node's blocking client-RPC gate. Every request
+	// must resolve — granted after queueing, or shed with a wire-coded
+	// ErrOverloaded — with the counters reconciling exactly.
+	register()
+	rng := rand.New(rand.NewSource(77))
+	cfg := past.DefaultConfig()
+	cfg.Pastry = pastry.Config{B: 4, L: 8}
+	cfg.K = 1
+	cfg.Admit = &admit.Config{Rate: 50, Burst: 2, Depth: 4}
+	nd := startNode(t, rng, cfg, 1<<20)
+	nd.node.Overlay().Bootstrap()
+	defer nd.t.Close()
+	addr := nd.t.Addr()
+
+	const clients, perClient = 8, 4
+	var wg sync.WaitGroup
+	var served, shed atomic.Int64
+	errCh := make(chan error, clients*perClient)
+	for i := 0; i < clients; i++ {
+		var cid id.Node
+		rng.Read(cid[:])
+		ct, err := New(cid, "127.0.0.1:0", topology.Point{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ct.Close()
+		for j := 0; j < perClient; j++ {
+			wg.Add(1)
+			go func(ct *TCP, i, j int) {
+				defer wg.Done()
+				var f id.File
+				rand.New(rand.NewSource(int64(i*100 + j))).Read(f[:])
+				_, err := ct.InvokeAddr(addr, &past.ClientLookup{File: f})
+				switch {
+				case err == nil:
+					served.Add(1)
+				case errors.Is(err, netsim.ErrOverloaded):
+					shed.Add(1)
+				default:
+					errCh <- err
+				}
+			}(ct, i, j)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("unexpected client error: %v", err)
+	}
+	total := int64(clients * perClient)
+	if served.Load()+shed.Load() != total {
+		t.Fatalf("served %d + shed %d != %d", served.Load(), shed.Load(), total)
+	}
+	if shed.Load() == 0 {
+		t.Fatal("burst of concurrent clients never shed (capacity 6 vs 32 arrivals)")
+	}
+	ctl := nd.node.AdmitController()
+	if ctl.Admitted()+ctl.Shed() != total {
+		t.Fatalf("controller admitted %d + shed %d != %d", ctl.Admitted(), ctl.Shed(), total)
 	}
 }
