@@ -14,6 +14,8 @@
 //	past-load -sim -sweep                 # offered-rate sweep, shedding off vs on
 //	past-load -sim -check                 # exit 0 only if shedding wins at 2x capacity
 //	past-load -sim -verify                # run twice, require identical fingerprints
+//	past-load -sim -cache-sweep           # cache-tier sweep: legacy vs sharded engine vs engine+flash
+//	past-load -sim -cache-check           # exit 0 only if the flash tier beats capped RAM alone
 package main
 
 import (
@@ -61,6 +63,13 @@ func main() {
 		sweep  = flag.Bool("sweep", false, "sim: run the offered-rate sweep (shedding off vs on) instead of a single run")
 		check  = flag.Bool("check", false, "sim: run the sweep and exit non-zero unless shedding strictly improves goodput and p99 at 2x capacity")
 		verify = flag.Bool("verify", false, "sim: run twice and require bit-identical fingerprints")
+
+		cacheSweep = flag.Bool("cache-sweep", false, "sim: sweep offered rate across cache configurations (legacy / sharded engine / engine+flash) and print per-tier hit rates")
+		cacheCheck = flag.Bool("cache-check", false, "sim: run the cache sweep and exit non-zero unless the flash tier beats the RAM-capped engine's hit rate")
+		cacheRAM   = flag.Int64("cache-ram", 32<<10, "cache sweep: per-node RAM-tier cap in bytes (sized below the working set so the flash tier matters)")
+		cacheFlash = flag.Int64("cache-flash", 1<<20, "cache sweep: per-node flash-tier capacity in bytes")
+		cacheShard = flag.Int("cache-shards", 4, "cache sweep: engine RAM-tier shard count")
+		cacheDoor  = flag.Bool("cache-doorkeeper", false, "cache sweep: enable the admission doorkeeper in the engine runs")
 	)
 	flag.CommandLine.Float64Var(rate, "r", 200, "alias for -rate")
 	flag.CommandLine.StringVar(addr, "addr", "", "alias for -node")
@@ -92,6 +101,20 @@ func main() {
 	}
 
 	switch {
+	case *cacheSweep || *cacheCheck:
+		runCacheSweep(experiments.CacheRateConfig{
+			Nodes:      *nodes,
+			NodeRate:   *nodeRate,
+			Requests:   *requests,
+			Files:      *files,
+			Alpha:      *alpha,
+			MaxPayload: *maxSize,
+			RAMBytes:   *cacheRAM,
+			FlashBytes: *cacheFlash,
+			Shards:     *cacheShard,
+			Doorkeeper: *cacheDoor,
+			Seed:       *seed,
+		}, *cacheCheck)
 	case *sweep || *check:
 		runSweep(experiments.OverloadConfig{
 			Nodes:      *nodes,
@@ -213,4 +236,30 @@ func runSweep(cfg experiments.OverloadConfig, check bool) {
 	fmt.Printf("CHECK: ok — at 2x capacity shedding lifts goodput %.1f/s -> %.1f/s and cuts p99 %v -> %v\n",
 		off.Goodput(), on.Goodput(),
 		off.Result.P(99).Round(time.Millisecond), on.Result.P(99).Round(time.Millisecond))
+}
+
+// runCacheSweep executes the cache-configuration sweep; under check it
+// also asserts the flash tier's hit-rate property and sets the exit
+// status accordingly.
+func runCacheSweep(cfg experiments.CacheRateConfig, check bool) {
+	res, err := experiments.RunCacheRate(cfg)
+	if err != nil {
+		log.Fatalf("past-load: %v", err)
+	}
+	fmt.Print(experiments.RenderCacheRate(res))
+	if !check {
+		return
+	}
+	if err := experiments.CheckCacheRate(res); err != nil {
+		fmt.Printf("CHECK: FAIL — %v\n", err)
+		os.Exit(1)
+	}
+	last := cfg.Multipliers
+	if len(last) == 0 {
+		last = []float64{0.25, 0.5, 1}
+	}
+	mult := last[len(last)-1]
+	ram, fl := res.At(mult, experiments.ModeRAM), res.At(mult, experiments.ModeFlash)
+	fmt.Printf("CHECK: ok — at %.2fx the flash tier lifts hit rate %.1f%% -> %.1f%% at equal RAM (%dKB)\n",
+		mult, 100*ram.HitRate(), 100*fl.HitRate(), cfg.RAMBytes>>10)
 }

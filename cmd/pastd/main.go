@@ -30,12 +30,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"past/internal/admit"
+	"past/internal/cachengine"
 	"past/internal/id"
 	"past/internal/logstore"
 	"past/internal/obs"
@@ -77,6 +79,13 @@ func main() {
 		admitBurst  = flag.Int("admit-burst", 8, "admission control: token-bucket burst")
 		admitDepth  = flag.Int("admit-depth", 16, "admission control: bounded queue depth before shedding")
 		admitPolicy = flag.String("admit-policy", "droptail", "admission control: shed policy — droptail, dropfront, or lifo")
+
+		cacheShards = flag.Int("cache-shards", 8, "cache engine: RAM-tier shard count (rounded up to a power of two; 1 = legacy single structure)")
+		cacheRAM    = flag.String("cache-ram", "0", "cache engine: RAM-tier cap (e.g. 16MB); 0 lets the cache use all free store space, as the paper does")
+		cacheDoor   = flag.Bool("cache-doorkeeper", false, "cache engine: admit a file only on its second offer within a window (one-hit-wonder filter)")
+		cacheNeg    = flag.Int("cache-negative", 0, "cache engine: negative-cache entries — repeated lookups for absent files answer locally (0: off)")
+		cacheFlash  = flag.String("cache-flash", "0", "cache engine: flash-tier capacity (e.g. 256MB); spills RAM evictions into segments under <data>/flashcache (0: off; needs -data)")
+		cacheFlSeg  = flag.String("cache-flash-segment", "4MB", "cache engine: flash segment rotation target")
 	)
 	flag.Parse()
 
@@ -133,6 +142,35 @@ func main() {
 			Policy: pol,
 		}
 	}
+	cacheRAMBytes, err := parseSize(*cacheRAM)
+	if err != nil {
+		log.Fatalf("pastd: -cache-ram: %v", err)
+	}
+	cacheFlashBytes, err := parseSize(*cacheFlash)
+	if err != nil {
+		log.Fatalf("pastd: -cache-flash: %v", err)
+	}
+	cfg.CacheEngine = &cachengine.Config{
+		Shards:          *cacheShards,
+		RAMBytes:        cacheRAMBytes,
+		Doorkeeper:      *cacheDoor,
+		NegativeEntries: *cacheNeg,
+	}
+	if cacheFlashBytes > 0 {
+		if *dataDir == "" {
+			log.Fatalf("pastd: -cache-flash requires -data")
+		}
+		flashSeg, err := parseSize(*cacheFlSeg)
+		if err != nil {
+			log.Fatalf("pastd: -cache-flash-segment: %v", err)
+		}
+		cfg.CacheEngine.Flash = &cachengine.FlashConfig{
+			Dir:          filepath.Join(*dataDir, "flashcache"),
+			Capacity:     cacheFlashBytes,
+			SegmentBytes: flashSeg,
+		}
+	}
+
 	kind := *storeKind
 	if kind == "" {
 		if *dataDir != "" {
@@ -193,7 +231,16 @@ func main() {
 	default:
 		log.Fatalf("pastd: unknown -store %q (want mem, disk, or log)", kind)
 	}
-	node := past.NewWithStore(nid, tr, cfg, backend, int64(nid[0])<<8|int64(nid[1]))
+	node, err := past.NewWithStoreEngine(nid, tr, cfg, backend, int64(nid[0])<<8|int64(nid[1]))
+	if err != nil {
+		log.Fatalf("pastd: %v", err)
+	}
+	ec := node.Cache().Config()
+	if ec.Flash != nil {
+		log.Printf("pastd: cache engine: %d shards, flash tier %d bytes at %s", ec.Shards, ec.Flash.Capacity, ec.Flash.Dir)
+	} else {
+		log.Printf("pastd: cache engine: %d shards", ec.Shards)
+	}
 	tr.Serve(node)
 
 	if *debugAddr != "" {
@@ -241,6 +288,9 @@ func main() {
 			lr := node.Leave()
 			log.Printf("pastd: offloaded %d replicas (%d failed, %d owners notified)",
 				lr.Offloaded, lr.Failed, lr.OwnersNotified)
+			if err := node.Cache().Close(); err != nil {
+				log.Printf("pastd: cache close: %v", err)
+			}
 			if c, ok := backend.(io.Closer); ok {
 				if err := c.Close(); err != nil {
 					log.Printf("pastd: store close: %v", err)

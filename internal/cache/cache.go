@@ -90,8 +90,16 @@ func (h *itemHeap) Pop() any {
 }
 
 // Cache is one node's file cache. Not safe for concurrent use; the
-// owning node serializes access.
+// owning node serializes access. (internal/cachengine wraps one Cache
+// per shard behind a mutex to build the concurrent engine.)
 type Cache struct {
+	// OnEvict, when set, observes every capacity eviction with the
+	// evicted file's size and content (nil under size-only accounting).
+	// Explicit Remove calls do not fire it. The callback must not call
+	// back into the cache. The cachengine flash tier uses it to spill
+	// evicted-but-warm objects to a second tier.
+	OnEvict func(f id.File, size int64, content []byte)
+
 	policy  Policy
 	c       float64 // insertion fraction (the paper's c parameter)
 	limit   int64
@@ -172,13 +180,17 @@ func (ca *Cache) priority(size int64, onHit bool) float64 {
 // bytes are not cached, per the paper's insertion policy. content may be
 // nil for size-only accounting (the trace experiments), in which case
 // Get returns a nil payload.
+//
+// Re-inserting a file that is already cached refreshes it: recency is
+// touched, non-nil content replaces the cached copy, and a changed size
+// updates the accounting — re-applying the insertion policy to the new
+// size and evicting as needed if the cache now overflows.
 func (ca *Cache) Insert(f id.File, size int64, content []byte) bool {
 	if ca.policy == None || size < 0 {
 		return false
 	}
 	if it, ok := ca.items[f]; ok {
-		ca.touch(it)
-		return true
+		return ca.refresh(it, size, content)
 	}
 	if float64(size) >= ca.c*float64(ca.limit) {
 		return false
@@ -192,6 +204,34 @@ func (ca *Cache) Insert(f id.File, size int64, content []byte) bool {
 	heap.Push(&ca.h, it)
 	ca.used += size
 	return true
+}
+
+// refresh updates an already-cached file on re-insert. Same-size offers
+// only touch recency (and adopt non-nil content); a size change updates
+// the byte accounting, re-applies the insertion policy, and evicts until
+// the cache fits again. Reports whether the file is still cached.
+func (ca *Cache) refresh(it *item, size int64, content []byte) bool {
+	if size == it.size {
+		if content != nil {
+			it.content = content
+		}
+		ca.touch(it)
+		return true
+	}
+	// The file changed size: it must satisfy the insertion policy anew.
+	if float64(size) >= ca.c*float64(ca.limit) || size > ca.limit {
+		ca.Remove(it.file)
+		return false
+	}
+	ca.used += size - it.size
+	it.size = size
+	it.content = content
+	ca.touch(it)
+	// A grown file can overflow the cache; evict (possibly including the
+	// refreshed file itself, if its priority is minimal) until it fits.
+	ca.evictTo(ca.limit)
+	_, still := ca.items[it.file]
+	return still
 }
 
 // Access looks up f, updating recency state and hit/miss counters.
@@ -255,6 +295,9 @@ func (ca *Cache) evictTo(target int64) {
 			// inflation value, so long-resident files decay relative to
 			// fresh ones without a full-heap subtraction.
 			ca.inflate = it.pri
+		}
+		if ca.OnEvict != nil {
+			ca.OnEvict(it.file, it.size, it.content)
 		}
 	}
 }

@@ -236,10 +236,11 @@ func TestCacheInvariant(t *testing.T) {
 				switch op % 4 {
 				case 0, 1:
 					size := int64(r.Intn(400))
+					// A successful insert leaves the file resident at the
+					// offered size — including refreshes, which update the
+					// accounting of an already-cached file.
 					if c.Insert(fid(k), size, nil) {
-						if _, ok := resident[k]; !ok {
-							resident[k] = size
-						}
+						resident[k] = size
 					}
 				case 2:
 					c.Access(fid(k))

@@ -1,0 +1,64 @@
+package cachengine
+
+import (
+	"encoding/binary"
+
+	"past/internal/id"
+)
+
+// doorkeeper is the admission frequency filter (the "doorkeeper" of
+// TinyLFU, the same one-hit-wonder defense CacheLib's admission
+// policies implement): a small bloom filter of recently-offered
+// fileIds. A file is admitted only when both its probe bits are
+// already set — i.e. on at least its second offer within the current
+// window. The filter resets once enough distinct first-sightings
+// accumulate, so stale history cannot pin the filter full.
+//
+// FileIds are already uniform hashes, so the probes are just two
+// disjoint 32-bit windows of the id — no extra hashing. The doorkeeper
+// is per-shard and guarded by the shard mutex; it needs no locking of
+// its own. Capacity evictions do not clear probe bits: a recently
+// evicted file re-enters on its next offer, which is exactly the
+// re-admission behavior a frequency filter wants.
+type doorkeeper struct {
+	bits  []uint64
+	mask  uint32
+	adds  int // first-sightings since the last reset
+	reset int // reset threshold
+}
+
+// newDoorkeeper sizes the filter to nbits (rounded up to a power of
+// two, minimum 64). The reset threshold is an eighth of the bit count:
+// with two probes per key that caps occupancy near 25%, keeping the
+// false-admit rate low.
+func newDoorkeeper(nbits int) *doorkeeper {
+	nbits = ceilPow2(max(nbits, 64))
+	return &doorkeeper{
+		bits:  make([]uint64, nbits/64),
+		mask:  uint32(nbits - 1),
+		reset: max(nbits/8, 8),
+	}
+}
+
+// allow reports whether f may enter the cache, recording the sighting
+// if not.
+func (d *doorkeeper) allow(f id.File) bool {
+	// Probe windows avoid bytes 0..3, which pick the shard.
+	p1 := binary.LittleEndian.Uint32(f[4:8]) & d.mask
+	p2 := binary.LittleEndian.Uint32(f[8:12]) & d.mask
+	seen := d.test(p1) && d.test(p2)
+	if seen {
+		return true
+	}
+	d.set(p1)
+	d.set(p2)
+	d.adds++
+	if d.adds >= d.reset {
+		clear(d.bits)
+		d.adds = 0
+	}
+	return false
+}
+
+func (d *doorkeeper) test(i uint32) bool { return d.bits[i/64]&(1<<(i%64)) != 0 }
+func (d *doorkeeper) set(i uint32)       { d.bits[i/64] |= 1 << (i % 64) }

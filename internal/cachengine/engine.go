@@ -1,0 +1,401 @@
+// Package cachengine is the node's concurrent cache engine: the
+// general, CacheLib-style rebuild of internal/cache for the hot path.
+//
+// internal/cache implements the paper's replacement policies
+// (GreedyDual-Size, LRU, FIFO) as single-goroutine structures — right
+// for the trace-driven Figure-8 experiments, a dead end for a node
+// serving concurrent routed traffic, where every Get/Insert would
+// serialize on one mutex around a heap. The engine composes those same
+// policy structures into a concurrent, tiered cache:
+//
+//   - RAM tier: N power-of-two shards keyed by fileId bits, each an
+//     independently-locked policy instance (one cache.Cache behind one
+//     mutex), so concurrent operations on different fileIds never
+//     contend. Per-shard GD-S keeps its own inflation clock, exactly as
+//     each CacheLib pool ages independently.
+//   - Admission: a doorkeeper frequency filter per shard — a fileId
+//     must be seen twice within a reset window before it may enter, so
+//     one-hit-wonders never churn the cache — composed with the
+//     paper's size-fraction insertion rule (applied per shard by the
+//     underlying policy structure).
+//   - Negative cache: a bounded map of fileIds that recently missed,
+//     letting the owning node short-circuit repeated lookups for
+//     absent files without routing. Any insert evidence invalidates.
+//   - Flash tier: objects evicted from RAM but still warm spill into
+//     dedicated logstore flash segments with an in-RAM index, so the
+//     cached working set can exceed memory. Get falls through
+//     RAM → flash → miss; flash hits promote back to RAM.
+//
+// With Shards=1 and every extra disabled (the zero-value Config plus a
+// policy), the engine is operation-for-operation identical to the
+// wrapped cache.Cache — which is how the emulated experiments keep
+// their fingerprints while the daemon runs the full engine.
+package cachengine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"past/internal/cache"
+	"past/internal/id"
+	"past/internal/obs"
+)
+
+// FlashConfig configures the flash tier.
+type FlashConfig struct {
+	// Dir is the directory holding the flash segments. Required.
+	Dir string
+	// Capacity bounds the bytes across flash segments; the oldest
+	// segment is dropped when exceeded. Default 64MB.
+	Capacity int64
+	// SegmentBytes is the per-segment rotation target. Default 4MB.
+	SegmentBytes int64
+}
+
+// Config parameterizes an Engine. The zero value of every field picks
+// the legacy-compatible default: GD-S is selected by the owner via
+// Policy, one shard, no doorkeeper, no negative cache, no flash tier —
+// bit-for-bit the behavior of a bare cache.Cache.
+type Config struct {
+	// Policy is the per-shard replacement policy.
+	Policy cache.Policy
+	// Frac is the insertion-policy fraction c, applied by each shard to
+	// its own capacity. Default 1 (the paper's value).
+	Frac float64
+	// Shards is the RAM-tier shard count, rounded up to a power of two.
+	// Default 1.
+	Shards int
+	// RAMBytes, when positive, caps the RAM tier regardless of the
+	// limit the owner grants via SetLimit — the knob that lets a node
+	// with a huge disk keep a bounded hot tier (and the experiments
+	// shape working-set-vs-RAM ratios).
+	RAMBytes int64
+	// Doorkeeper enables the admission frequency filter: a fileId is
+	// admitted only on its second appearance within a reset window.
+	Doorkeeper bool
+	// DoorkeeperBits is the per-shard filter size in bits, rounded up
+	// to a power of two. Default 32768.
+	DoorkeeperBits int
+	// NegativeEntries bounds the negative cache (0 disables it).
+	NegativeEntries int
+	// Flash, when non-nil, enables the flash tier.
+	Flash *FlashConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Frac == 0 {
+		c.Frac = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	c.Shards = ceilPow2(c.Shards)
+	if c.DoorkeeperBits <= 0 {
+		c.DoorkeeperBits = 1 << 15
+	}
+	if c.Flash != nil {
+		f := *c.Flash
+		if f.Capacity <= 0 {
+			f.Capacity = 64 << 20
+		}
+		if f.SegmentBytes <= 0 {
+			f.SegmentBytes = 4 << 20
+		}
+		c.Flash = &f
+	}
+	return c
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Engine is the concurrent cache engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg   Config
+	mask  uint32
+	shard []*shard
+	neg   *negCache
+	flash *flashTier
+
+	// limit is the owner-granted capacity (before the RAMBytes clamp).
+	limit atomic.Int64
+
+	ramHits      atomic.Int64
+	flashHits    atomic.Int64
+	misses       atomic.Int64
+	admitRejects atomic.Int64
+	negHits      atomic.Int64
+}
+
+var _ obs.CounterSource = (*Engine)(nil)
+
+// New builds an engine. It fails only when a flash tier is configured
+// and its directory cannot be opened.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, mask: uint32(cfg.Shards - 1)}
+	if cfg.NegativeEntries > 0 {
+		e.neg = newNegCache(cfg.Shards, cfg.NegativeEntries)
+	}
+	if cfg.Flash != nil && cfg.Policy != cache.None {
+		if cfg.Flash.Dir == "" {
+			return nil, fmt.Errorf("cachengine: flash tier needs a directory")
+		}
+		ft, err := openFlashTier(*cfg.Flash)
+		if err != nil {
+			return nil, err
+		}
+		e.flash = ft
+	}
+	e.shard = make([]*shard, cfg.Shards)
+	for i := range e.shard {
+		s := &shard{c: cache.New(cfg.Policy, cfg.Frac)}
+		if cfg.Doorkeeper {
+			s.dk = newDoorkeeper(cfg.DoorkeeperBits)
+		}
+		if e.flash != nil {
+			s.c.OnEvict = e.flash.spill
+		}
+		e.shard[i] = s
+	}
+	return e, nil
+}
+
+// MustNew is New for configurations that cannot fail (no flash tier).
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// shardOf selects the shard by fileId bits. FileIds are hashes, so the
+// low word is uniform.
+func (e *Engine) shardOf(f id.File) *shard {
+	return e.shard[binary.LittleEndian.Uint32(f[0:4])&e.mask]
+}
+
+// Get looks up f, falling through RAM → flash → miss. A flash hit
+// promotes the object back into the RAM tier. Recency state and the
+// tier hit/miss counters are updated.
+func (e *Engine) Get(f id.File) (size int64, content []byte, ok bool) {
+	sh := e.shardOf(f)
+	if size, content, ok := sh.get(f); ok {
+		e.ramHits.Add(1)
+		return size, content, true
+	}
+	if e.flash != nil {
+		if content, ok := e.flash.get(f); ok {
+			e.flashHits.Add(1)
+			// Promotion bypasses the doorkeeper: a flash hit is proof of
+			// warmth. The insert may evict colder RAM residents, which
+			// spill right back to flash.
+			sh.insert(f, int64(len(content)), content, true)
+			return int64(len(content)), content, true
+		}
+	}
+	e.misses.Add(1)
+	return 0, nil, false
+}
+
+// Access looks up f for its side effects, reporting a hit.
+func (e *Engine) Access(f id.File) bool {
+	_, _, ok := e.Get(f)
+	return ok
+}
+
+// Insert offers a file to the cache. The doorkeeper (when enabled)
+// rejects fileIds on first sight; the per-shard insertion policy
+// applies after it. Any insert is existence evidence, so a matching
+// negative-cache entry is invalidated even when the object is not
+// admitted.
+func (e *Engine) Insert(f id.File, size int64, content []byte) bool {
+	if e.neg != nil {
+		e.neg.invalidate(f)
+	}
+	cached, rejected := e.shardOf(f).insert(f, size, content, false)
+	if rejected {
+		e.admitRejects.Add(1)
+	}
+	return cached
+}
+
+// Contains reports whether f is resident in RAM or flash, without
+// touching recency or counters.
+func (e *Engine) Contains(f id.File) bool {
+	if e.shardOf(f).contains(f) {
+		return true
+	}
+	return e.flash != nil && e.flash.contains(f)
+}
+
+// Remove drops f from both tiers — the owner calls it when the file
+// becomes a local replica, which must not be double-served from cache.
+func (e *Engine) Remove(f id.File) bool {
+	removed := e.shardOf(f).remove(f)
+	if e.flash != nil && e.flash.remove(f) {
+		removed = true
+	}
+	return removed
+}
+
+// SetLimit grants the RAM tier n bytes (clamped to RAMBytes when
+// configured), distributed evenly across shards; shards evict as
+// needed. The owning node calls this as replica storage grows and
+// shrinks, exactly as it did with the single cache.
+func (e *Engine) SetLimit(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	e.limit.Store(n)
+	if e.cfg.RAMBytes > 0 && n > e.cfg.RAMBytes {
+		n = e.cfg.RAMBytes
+	}
+	nsh := int64(len(e.shard))
+	base, rem := n/nsh, n%nsh
+	for i, sh := range e.shard {
+		share := base
+		if int64(i) < rem {
+			share++
+		}
+		sh.setLimit(share)
+	}
+}
+
+// Limit returns the owner-granted RAM limit (before the RAMBytes
+// clamp), matching the legacy cache's accounting that the node's
+// status surfaces.
+func (e *Engine) Limit() int64 { return e.limit.Load() }
+
+// Used returns bytes resident in the RAM tier.
+func (e *Engine) Used() int64 {
+	var n int64
+	for _, sh := range e.shard {
+		n += sh.used()
+	}
+	return n
+}
+
+// Len returns the number of RAM-resident files.
+func (e *Engine) Len() int {
+	var n int
+	for _, sh := range e.shard {
+		n += sh.len()
+	}
+	return n
+}
+
+// NegativeHit reports whether f was recently noted absent; a hit is
+// counted. Always false without a negative cache.
+func (e *Engine) NegativeHit(f id.File) bool {
+	if e.neg == nil || !e.neg.hit(f) {
+		return false
+	}
+	e.negHits.Add(1)
+	return true
+}
+
+// NoteMiss records that a full lookup for f came back not-found.
+func (e *Engine) NoteMiss(f id.File) {
+	if e.neg != nil {
+		e.neg.add(f)
+	}
+}
+
+// Invalidate drops any negative-cache entry for f — called on every
+// sighting of the file (replica stored, insert routed through, cached
+// copy offered).
+func (e *Engine) Invalidate(f id.File) {
+	if e.neg != nil {
+		e.neg.invalidate(f)
+	}
+}
+
+// Close releases the flash tier's files. The RAM tier needs no
+// teardown.
+func (e *Engine) Close() error {
+	if e.flash != nil {
+		return e.flash.close()
+	}
+	return nil
+}
+
+// Stats is a point-in-time aggregate of the engine's counters.
+type Stats struct {
+	RAMHits, FlashHits, Misses int64
+	Evictions                  int64
+	AdmitRejects, NegHits      int64
+
+	FlashSpills, FlashPromotes, FlashSegDrops int64
+	FlashBytes, FlashEntries                  int64
+}
+
+// Hits returns total hits across tiers.
+func (s Stats) Hits() int64 { return s.RAMHits + s.FlashHits }
+
+// HitRate returns hits / (hits + misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits() + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// Stats aggregates the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		RAMHits:      e.ramHits.Load(),
+		FlashHits:    e.flashHits.Load(),
+		Misses:       e.misses.Load(),
+		AdmitRejects: e.admitRejects.Load(),
+		NegHits:      e.negHits.Load(),
+	}
+	for _, sh := range e.shard {
+		st.Evictions += sh.evictions()
+	}
+	if e.flash != nil {
+		st.FlashSpills = e.flash.spills.Load()
+		st.FlashPromotes = e.flashHits.Load()
+		st.FlashSegDrops = e.flash.segDrops.Load()
+		st.FlashBytes, st.FlashEntries = e.flash.usage()
+	}
+	return st
+}
+
+// ObsCounters implements obs.CounterSource: the engine's tier counters
+// under cachengine_* names. The owning node separately maintains the
+// legacy cache_hits/misses/evictions series from Stats, so existing
+// dashboards keep working.
+func (e *Engine) ObsCounters() map[string]int64 {
+	st := e.Stats()
+	m := map[string]int64{
+		obs.CtrCacheRAMHits:      st.RAMHits,
+		obs.CtrCacheFlashHits:    st.FlashHits,
+		obs.CtrCacheAdmitRejects: st.AdmitRejects,
+		obs.CtrCacheNegHits:      st.NegHits,
+		obs.CtrCacheShards:       int64(len(e.shard)),
+	}
+	if e.neg != nil {
+		m[obs.CtrCacheNegEntries] = e.neg.entries()
+	}
+	if e.flash != nil {
+		m[obs.CtrCacheFlashSpills] = st.FlashSpills
+		m[obs.CtrCacheFlashPromotes] = st.FlashPromotes
+		m[obs.CtrCacheFlashDrops] = st.FlashSegDrops
+		m[obs.CtrCacheFlashBytes] = st.FlashBytes
+		m[obs.CtrCacheFlashEntries] = st.FlashEntries
+	}
+	return m
+}

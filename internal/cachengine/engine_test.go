@@ -1,0 +1,355 @@
+package cachengine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"past/internal/cache"
+	"past/internal/id"
+	"past/internal/obs"
+)
+
+func efid(n uint64) id.File { return id.NewFile("f", nil, n) }
+
+func epayload(f id.File, size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = f[i%len(f)] ^ byte(i)
+	}
+	return b
+}
+
+// TestLegacyEquivalence: with one shard and every extra disabled, the
+// engine must be operation-for-operation identical to a bare
+// cache.Cache — that is what keeps the emulated experiments'
+// fingerprints stable.
+func TestLegacyEquivalence(t *testing.T) {
+	for _, pol := range []cache.Policy{cache.GDS, cache.LRU, cache.FIFO} {
+		eng := MustNew(Config{Policy: pol})
+		ref := cache.New(pol, 1)
+		eng.SetLimit(4096)
+		ref.SetLimit(4096)
+
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			f := efid(uint64(r.Intn(64)))
+			switch r.Intn(10) {
+			case 0:
+				if got, want := eng.Remove(f), ref.Remove(f); got != want {
+					t.Fatalf("%v op %d: Remove=%v ref=%v", pol, i, got, want)
+				}
+			case 1, 2, 3:
+				size := int64(1 + r.Intn(900))
+				if got, want := eng.Insert(f, size, nil), ref.Insert(f, size, nil); got != want {
+					t.Fatalf("%v op %d: Insert=%v ref=%v", pol, i, got, want)
+				}
+			case 4:
+				n := int64(2048 + r.Intn(4096))
+				eng.SetLimit(n)
+				ref.SetLimit(n)
+			default:
+				gs, _, gok := eng.Get(f)
+				ws, _, wok := ref.Get(f)
+				if gok != wok || gs != ws {
+					t.Fatalf("%v op %d: Get=(%d,%v) ref=(%d,%v)", pol, i, gs, gok, ws, wok)
+				}
+			}
+			if eng.Used() != ref.Used() || eng.Len() != ref.Len() {
+				t.Fatalf("%v op %d: used/len (%d,%d) ref (%d,%d)",
+					pol, i, eng.Used(), eng.Len(), ref.Used(), ref.Len())
+			}
+		}
+		st := eng.Stats()
+		rh, rm, rev := ref.Stats()
+		if st.RAMHits != rh || st.Misses != rm || st.Evictions != rev {
+			t.Fatalf("%v: stats (%d,%d,%d) ref (%d,%d,%d)",
+				pol, st.RAMHits, st.Misses, st.Evictions, rh, rm, rev)
+		}
+	}
+}
+
+func TestDoorkeeperAdmitsOnSecondOffer(t *testing.T) {
+	e := MustNew(Config{Policy: cache.GDS, Shards: 2, Doorkeeper: true})
+	e.SetLimit(1 << 20)
+
+	f := efid(1)
+	if e.Insert(f, 100, nil) {
+		t.Fatal("first offer should be rejected by the doorkeeper")
+	}
+	if e.Contains(f) {
+		t.Fatal("rejected file must not be resident")
+	}
+	if !e.Insert(f, 100, nil) {
+		t.Fatal("second offer should be admitted")
+	}
+	if !e.Contains(f) {
+		t.Fatal("admitted file must be resident")
+	}
+	// A resident file's refresh skips the doorkeeper.
+	if !e.Insert(f, 120, nil) {
+		t.Fatal("refresh of a resident file should succeed")
+	}
+	if st := e.Stats(); st.AdmitRejects != 1 {
+		t.Fatalf("AdmitRejects = %d, want 1", st.AdmitRejects)
+	}
+}
+
+func TestDoorkeeperResets(t *testing.T) {
+	d := newDoorkeeper(64) // reset after 8 first-sightings
+	f := efid(999)
+	if d.allow(f) {
+		t.Fatal("first sighting must be rejected")
+	}
+	// 8 distinct other files trigger the reset (some may collide in 64
+	// bits and be "allowed"; feed until adds wraps).
+	for n := uint64(0); d.adds != 0; n++ {
+		d.allow(efid(n))
+	}
+	if d.allow(f) {
+		t.Fatal("after a reset the file must be treated as unseen again")
+	}
+}
+
+func TestNegativeCache(t *testing.T) {
+	e := MustNew(Config{Policy: cache.GDS, Shards: 4, NegativeEntries: 8})
+	e.SetLimit(1 << 20)
+
+	f := efid(42)
+	if e.NegativeHit(f) {
+		t.Fatal("unnoted file must not hit")
+	}
+	e.NoteMiss(f)
+	if !e.NegativeHit(f) {
+		t.Fatal("noted miss must hit")
+	}
+	// Insert evidence invalidates.
+	e.Insert(f, 10, nil)
+	if e.NegativeHit(f) {
+		t.Fatal("insert must invalidate the negative entry")
+	}
+	e.NoteMiss(f)
+	e.Invalidate(f)
+	if e.NegativeHit(f) {
+		t.Fatal("Invalidate must drop the entry")
+	}
+
+	// The table is bounded: far more notes than capacity stay capped.
+	for n := uint64(0); n < 1000; n++ {
+		e.NoteMiss(efid(n))
+	}
+	if got := e.neg.entries(); got > 8 {
+		t.Fatalf("negative entries = %d, want <= 8", got)
+	}
+	if st := e.Stats(); st.NegHits != 1 {
+		t.Fatalf("NegHits = %d, want 1", st.NegHits)
+	}
+}
+
+func TestNegativeCacheDisabled(t *testing.T) {
+	e := MustNew(Config{Policy: cache.GDS})
+	e.NoteMiss(efid(1))
+	e.Invalidate(efid(1))
+	if e.NegativeHit(efid(1)) {
+		t.Fatal("disabled negative cache must never hit")
+	}
+}
+
+func TestFlashFallThroughAndPromotion(t *testing.T) {
+	e, err := New(Config{
+		Policy: cache.GDS,
+		Shards: 1,
+		Flash:  &FlashConfig{Dir: t.TempDir(), Capacity: 1 << 20, SegmentBytes: 16 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.SetLimit(1024)
+
+	// Two 400-byte files fit; the third evicts the coldest, which
+	// spills to flash.
+	contents := map[id.File][]byte{}
+	for n := uint64(0); n < 3; n++ {
+		f := efid(n)
+		contents[f] = epayload(f, 400)
+		if !e.Insert(f, 400, contents[f]) {
+			t.Fatalf("insert %d refused", n)
+		}
+	}
+	st := e.Stats()
+	if st.FlashSpills == 0 {
+		t.Fatalf("expected an eviction to spill, stats %+v", st)
+	}
+	if st.FlashEntries == 0 || st.FlashBytes == 0 {
+		t.Fatalf("flash usage empty: %+v", st)
+	}
+
+	// Every file must still be readable — from RAM or flash.
+	for f, want := range contents {
+		size, got, ok := e.Get(f)
+		if !ok || size != 400 || !bytes.Equal(got, want) {
+			t.Fatalf("Get %x: ok=%v size=%d contentMatch=%v", f[:4], ok, size, bytes.Equal(got, want))
+		}
+	}
+	st = e.Stats()
+	if st.FlashHits == 0 {
+		t.Fatalf("expected at least one flash hit, stats %+v", st)
+	}
+	if st.FlashPromotes != st.FlashHits {
+		t.Fatalf("every flash hit promotes: promotes=%d hits=%d", st.FlashPromotes, st.FlashHits)
+	}
+
+	// A promoted file is now a RAM hit.
+	var promoted id.File
+	for f := range contents {
+		if e.shardOf(f).contains(f) {
+			promoted = f
+			break
+		}
+	}
+	before := e.Stats().RAMHits
+	if _, _, ok := e.Get(promoted); !ok {
+		t.Fatal("promoted file must hit")
+	}
+	if e.Stats().RAMHits != before+1 {
+		t.Fatal("promoted file should hit in RAM")
+	}
+}
+
+func TestFlashCapacityDropsOldestSegment(t *testing.T) {
+	e, err := New(Config{
+		Policy: cache.GDS,
+		Flash:  &FlashConfig{Dir: t.TempDir(), Capacity: 8 << 10, SegmentBytes: 2 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.SetLimit(512)
+
+	for n := uint64(0); n < 200; n++ {
+		f := efid(n)
+		e.Insert(f, 256, epayload(f, 256))
+	}
+	st := e.Stats()
+	if st.FlashSegDrops == 0 {
+		t.Fatalf("expected segment drops under capacity pressure, stats %+v", st)
+	}
+	if st.FlashBytes > 8<<10+2<<10 {
+		t.Fatalf("flash bytes %d way over capacity", st.FlashBytes)
+	}
+}
+
+func TestRemoveDropsBothTiers(t *testing.T) {
+	e, err := New(Config{
+		Policy: cache.GDS,
+		Flash:  &FlashConfig{Dir: t.TempDir(), Capacity: 1 << 20, SegmentBytes: 16 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.SetLimit(512)
+
+	a, b := efid(1), efid(2)
+	e.Insert(a, 400, epayload(a, 400))
+	e.Insert(b, 400, epayload(b, 400)) // evicts a → flash
+	if !e.Contains(a) {
+		t.Fatal("a should be in flash")
+	}
+	if !e.Remove(a) {
+		t.Fatal("Remove(a) should report true")
+	}
+	if e.Contains(a) {
+		t.Fatal("removed file must be gone from both tiers")
+	}
+	if _, _, ok := e.Get(a); ok {
+		t.Fatal("removed file must miss")
+	}
+}
+
+func TestRAMBytesClampsGrant(t *testing.T) {
+	e := MustNew(Config{Policy: cache.GDS, Shards: 4, RAMBytes: 1000})
+	e.SetLimit(100000)
+	if e.Limit() != 100000 {
+		t.Fatalf("Limit() reports the owner grant, got %d", e.Limit())
+	}
+	var share int64
+	for _, sh := range e.shard {
+		share += sh.c.Limit()
+	}
+	if share != 1000 {
+		t.Fatalf("shard limits sum to %d, want RAMBytes clamp 1000", share)
+	}
+	// Remainder distribution: an uneven grant is spread base+1/base.
+	e2 := MustNew(Config{Policy: cache.GDS, Shards: 4})
+	e2.SetLimit(10)
+	var total int64
+	for _, sh := range e2.shard {
+		l := sh.c.Limit()
+		if l != 2 && l != 3 {
+			t.Fatalf("uneven share %d", l)
+		}
+		total += l
+	}
+	if total != 10 {
+		t.Fatalf("shares sum to %d, want 10", total)
+	}
+}
+
+func TestNewFlashErrors(t *testing.T) {
+	if _, err := New(Config{Policy: cache.GDS, Flash: &FlashConfig{}}); err == nil {
+		t.Fatal("flash without a directory must error")
+	}
+	// None policy never caches, so the flash tier is skipped entirely.
+	e, err := New(Config{Policy: cache.None, Flash: &FlashConfig{Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.flash != nil {
+		t.Fatal("None policy should not open a flash tier")
+	}
+}
+
+func TestObsCounters(t *testing.T) {
+	e, err := New(Config{
+		Policy:          cache.GDS,
+		Shards:          2,
+		Doorkeeper:      true,
+		NegativeEntries: 16,
+		Flash:           &FlashConfig{Dir: t.TempDir(), Capacity: 1 << 20, SegmentBytes: 16 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.SetLimit(1024)
+
+	f := efid(5)
+	e.Insert(f, 100, epayload(f, 100)) // doorkeeper reject
+	e.Insert(f, 100, epayload(f, 100))
+	e.Get(f)
+	e.Get(efid(6))
+	e.NoteMiss(efid(6))
+	e.NegativeHit(efid(6))
+
+	m := e.ObsCounters()
+	for _, name := range []string{
+		obs.CtrCacheRAMHits, obs.CtrCacheFlashHits, obs.CtrCacheAdmitRejects,
+		obs.CtrCacheNegHits, obs.CtrCacheNegEntries, obs.CtrCacheShards,
+		obs.CtrCacheFlashSpills, obs.CtrCacheFlashPromotes, obs.CtrCacheFlashDrops,
+		obs.CtrCacheFlashBytes, obs.CtrCacheFlashEntries,
+	} {
+		if _, ok := m[name]; !ok {
+			t.Fatalf("ObsCounters missing %q", name)
+		}
+	}
+	if m[obs.CtrCacheRAMHits] != 1 || m[obs.CtrCacheAdmitRejects] != 1 ||
+		m[obs.CtrCacheNegHits] != 1 || m[obs.CtrCacheShards] != 2 {
+		t.Fatalf("counter values off: %v", m)
+	}
+	if st := e.Stats(); st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Fatalf("HitRate = %v, want in (0,1)", st.HitRate())
+	}
+}

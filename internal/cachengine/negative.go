@@ -1,0 +1,92 @@
+package cachengine
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"past/internal/id"
+)
+
+// negCache remembers fileIds whose lookups recently came back
+// not-found, so the owning node can answer repeated misses locally
+// instead of routing them. Entries are bounded per shard and evicted
+// FIFO — there is no clock in the engine, so staleness is capped by
+// churn, and any sighting of the file (an insert routed through, a
+// replica stored, a cached copy offered) invalidates the entry.
+type negCache struct {
+	mask  uint32
+	shard []negShard
+}
+
+type negShard struct {
+	mu   sync.Mutex
+	m    map[id.File]int // file -> ring slot
+	ring []id.File       // FIFO of resident entries
+	pos  int
+}
+
+// newNegCache builds a negative cache with ~entries total capacity
+// spread over nShards shards (same power-of-two count as the engine).
+func newNegCache(nShards, entries int) *negCache {
+	per := max(entries/nShards, 1)
+	n := &negCache{mask: uint32(nShards - 1), shard: make([]negShard, nShards)}
+	for i := range n.shard {
+		n.shard[i].m = make(map[id.File]int, per)
+		n.shard[i].ring = make([]id.File, per)
+	}
+	return n
+}
+
+func (n *negCache) shardOf(f id.File) *negShard {
+	return &n.shard[binary.LittleEndian.Uint32(f[0:4])&n.mask]
+}
+
+// add notes a confirmed miss for f.
+func (n *negCache) add(f id.File) {
+	s := n.shardOf(f)
+	s.mu.Lock()
+	if _, dup := s.m[f]; !dup {
+		// Overwrite the oldest slot; its entry (if still ours) leaves.
+		if old := s.ring[s.pos]; old != (id.File{}) {
+			if slot, ok := s.m[old]; ok && slot == s.pos {
+				delete(s.m, old)
+			}
+		}
+		s.ring[s.pos] = f
+		s.m[f] = s.pos
+		s.pos = (s.pos + 1) % len(s.ring)
+	}
+	s.mu.Unlock()
+}
+
+// hit reports whether f is noted absent.
+func (n *negCache) hit(f id.File) bool {
+	s := n.shardOf(f)
+	s.mu.Lock()
+	_, ok := s.m[f]
+	s.mu.Unlock()
+	return ok
+}
+
+// invalidate forgets f.
+func (n *negCache) invalidate(f id.File) {
+	s := n.shardOf(f)
+	s.mu.Lock()
+	if slot, ok := s.m[f]; ok {
+		delete(s.m, f)
+		s.ring[slot] = id.File{}
+	}
+	s.mu.Unlock()
+}
+
+// entries returns the resident entry count.
+func (n *negCache) entries() int64 {
+	var total int64
+	for i := range n.shard {
+		s := &n.shard[i]
+		s.mu.Lock()
+		total += int64(len(s.m))
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallCacheRateCfg() CacheRateConfig {
+	return CacheRateConfig{
+		Nodes:       10,
+		NodeRate:    50,
+		Multipliers: []float64{0.5},
+		Requests:    900,
+		Files:       192,
+		RAMBytes:    32 << 10,
+		Seed:        7,
+	}
+}
+
+func TestCacheRateFlashBeatsCappedRAM(t *testing.T) {
+	r, err := RunCacheRate(smallCacheRateCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("want 3 points, got %d", len(r.Points))
+	}
+	if err := CheckCacheRate(r); err != nil {
+		t.Fatal(err)
+	}
+	// The flash runs must actually have exercised the tier.
+	fl := r.At(0.5, ModeFlash)
+	if fl.Result.Cache.FlashSpills == 0 || fl.Result.Cache.FlashHits == 0 {
+		t.Fatalf("flash tier idle: %+v", fl.Result.Cache)
+	}
+	// The RAM-capped run must have been genuinely constrained, or the
+	// comparison says nothing.
+	ram := r.At(0.5, ModeRAM)
+	if ram.Result.Cache.Evictions == 0 {
+		t.Fatalf("RAM-only run never evicted: %+v", ram.Result.Cache)
+	}
+}
+
+func TestCacheRateDeterministic(t *testing.T) {
+	a, err := RunCacheRate(smallCacheRateCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCacheRate(smallCacheRateCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint == "" || a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints differ:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+	for i := range a.Points {
+		if a.Points[i].Result.Cache != b.Points[i].Result.Cache {
+			t.Fatalf("point %d cache counters differ:\n%+v\n%+v",
+				i, a.Points[i].Result.Cache, b.Points[i].Result.Cache)
+		}
+	}
+}
+
+func TestRenderCacheRate(t *testing.T) {
+	r, err := RunCacheRate(smallCacheRateCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderCacheRate(r)
+	for _, want := range []string{ModeLegacy, ModeRAM, ModeFlash, "hit%", "fingerprint:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -216,6 +216,29 @@ type Result struct {
 	// Virtual runs at a fixed seed reproduce it bit-identically; real
 	// runs leave it empty (wall-clock latencies are not reproducible).
 	Fingerprint string
+	// Cache aggregates the cluster's cache-engine tier counters at the
+	// end of the run (virtual mode only). It is derived state, not part
+	// of the fingerprint: the fingerprint covers per-request outcomes,
+	// which already reflect cache behavior through hop counts.
+	Cache CacheSummary
+}
+
+// CacheSummary sums cache-engine tier counters across a cluster.
+type CacheSummary struct {
+	RAMHits, FlashHits, Misses int64
+	Evictions                  int64
+	AdmitRejects, NegHits      int64
+	FlashSpills, FlashSegDrops int64
+}
+
+// HitRate is (RAM + flash hits) / all cache probes, or 0 with no
+// traffic.
+func (c CacheSummary) HitRate() float64 {
+	total := c.RAMHits + c.FlashHits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RAMHits+c.FlashHits) / float64(total)
 }
 
 // Goodput is SLO-satisfying completions per second over the offered

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"hash"
 	"math/rand"
+	"path/filepath"
 	"time"
 
 	"past/internal/admit"
+	"past/internal/cachengine"
 	"past/internal/id"
 	"past/internal/past"
 	"past/internal/pastry"
@@ -58,6 +60,19 @@ type SimConfig struct {
 	SLO time.Duration
 	// Capacity is per-node storage capacity in bytes. Default 1 GiB.
 	Capacity int64
+	// Cache, when non-nil, runs every node's cache engine with this
+	// configuration (sharding, doorkeeper, negative cache, flash tier)
+	// instead of the legacy-equivalent default. When the flash tier is
+	// enabled, Flash.Dir is treated as a base directory and each node
+	// gets its own subdirectory under it. The per-request fingerprint
+	// is sensitive to this knob — cache behavior changes hop counts —
+	// so fingerprint-checked experiments must leave it nil.
+	Cache *cachengine.Config
+	// Payloads makes inserts carry real (deterministic) content instead
+	// of size-only accounting. The flash tier only spills objects whose
+	// bytes it holds, so flash experiments need this on. Off by default:
+	// the legacy experiments account sizes only.
+	Payloads bool
 }
 
 func (sc SimConfig) withDefaults() SimConfig {
@@ -103,12 +118,25 @@ func RunSim(sc SimConfig) (*Result, error) {
 	cfg := past.DefaultConfig()
 	cfg.Pastry = pastry.Config{B: 4, L: 16}
 	cfg.K = 3
-	cluster, err := past.NewCluster(past.ClusterSpec{
+	cfg.CacheEngine = sc.Cache
+	spec := past.ClusterSpec{
 		N:        sc.Nodes,
 		Cfg:      cfg,
 		Capacity: func(int, *rand.Rand) int64 { return sc.Capacity },
 		Seed:     sc.Seed,
-	})
+	}
+	if sc.Cache != nil && sc.Cache.Flash != nil {
+		base := sc.Cache.Flash.Dir
+		spec.PerNode = func(i int, c past.Config) past.Config {
+			ec := *sc.Cache
+			fc := *ec.Flash
+			fc.Dir = filepath.Join(base, fmt.Sprintf("node-%03d", i))
+			ec.Flash = &fc
+			c.CacheEngine = &ec
+			return c
+		}
+	}
+	cluster, err := past.NewCluster(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -146,10 +174,12 @@ func RunSim(sc SimConfig) (*Result, error) {
 		hops := 0
 		switch {
 		case o.Op == trace.OpInsert:
+			spec := past.InsertSpec{Name: trace.FileName(o.File), Size: o.Size}
+			if sc.Payloads {
+				spec.Content = simPayload(o.File, o.Size)
+			}
 			var ir *past.InsertResult
-			ir, err = access.Insert(past.InsertSpec{
-				Name: trace.FileName(o.File), Size: o.Size,
-			})
+			ir, err = access.Insert(spec)
 			if err == nil && ir.OK {
 				ids[o.File] = ir.FileID
 				found = true
@@ -203,7 +233,28 @@ func RunSim(sc SimConfig) (*Result, error) {
 		res.Elapsed = time.Second
 	}
 	res.Fingerprint = hex.EncodeToString(fp.Sum(nil))
+	for _, n := range cluster.Nodes {
+		st := n.Cache().Stats()
+		res.Cache.RAMHits += st.RAMHits
+		res.Cache.FlashHits += st.FlashHits
+		res.Cache.Misses += st.Misses
+		res.Cache.Evictions += st.Evictions
+		res.Cache.AdmitRejects += st.AdmitRejects
+		res.Cache.NegHits += st.NegHits
+		res.Cache.FlashSpills += st.FlashSpills
+		res.Cache.FlashSegDrops += st.FlashSegDrops
+		n.Cache().Close()
+	}
 	return res, nil
+}
+
+// simPayload builds deterministic content for file index f.
+func simPayload(f int32, size int64) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(int64(f)*31 + int64(i))
+	}
+	return b
 }
 
 // fpRecord folds one request's outcome into the fingerprint.

@@ -125,6 +125,23 @@ const (
 	CtrRecoveryNanos    = "logstore_recovery_nanos_total"
 	CtrChecksumFailures = "logstore_checksum_failures_total"
 	CtrSegments         = "logstore_segments"
+
+	// Cache-engine counters (internal/cachengine). The engine owns the
+	// atomics and contributes them through CounterSource, like the
+	// storage backend. The legacy cache_hits/misses/evictions names
+	// above stay populated (hits = RAM + flash) so dashboards and the
+	// stats RPC see one continuous series.
+	CtrCacheRAMHits       = "cachengine_ram_hits_total"
+	CtrCacheFlashHits     = "cachengine_flash_hits_total"
+	CtrCacheAdmitRejects  = "cachengine_admit_rejects_total"
+	CtrCacheNegHits       = "cachengine_negative_hits_total"
+	CtrCacheNegEntries    = "cachengine_negative_entries"
+	CtrCacheFlashSpills   = "cachengine_flash_spills_total"
+	CtrCacheFlashPromotes = "cachengine_flash_promotes_total"
+	CtrCacheFlashDrops    = "cachengine_flash_seg_drops_total"
+	CtrCacheFlashBytes    = "cachengine_flash_bytes"
+	CtrCacheFlashEntries  = "cachengine_flash_entries"
+	CtrCacheShards        = "cachengine_shards"
 )
 
 // CounterSource lets a subsystem contribute named counters to a node's

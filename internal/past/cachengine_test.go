@@ -1,0 +1,153 @@
+package past
+
+import (
+	"bytes"
+	"testing"
+
+	"past/internal/cachengine"
+	"past/internal/id"
+	"past/internal/obs"
+)
+
+// engineCfg is smallCfg with the full cache engine enabled (sharding,
+// negative cache; no flash — flash has its own test below).
+func engineCfg() Config {
+	cfg := smallCfg()
+	cfg.CacheEngine = &cachengine.Config{
+		Shards:          4,
+		NegativeEntries: 64,
+	}
+	return cfg
+}
+
+func TestNegativeCacheShortCircuitsLookups(t *testing.T) {
+	c := testCluster(t, 20, engineCfg(), 1<<20, 11)
+	client := c.RandomAliveNode()
+	absent := id.NewFile("never-inserted", nil, 7)
+
+	res, err := client.Lookup(absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Negative {
+		t.Fatalf("first miss should route: %+v", res)
+	}
+	msgsAfterFirst := client.Stats().MsgsOut.Load()
+
+	res, err = client.Lookup(absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || !res.Negative {
+		t.Fatalf("second miss should be negative-cached: %+v", res)
+	}
+	if got := client.Stats().MsgsOut.Load(); got != msgsAfterFirst {
+		t.Fatalf("negative-cached lookup sent %d messages", got-msgsAfterFirst)
+	}
+	if st := client.Cache().Stats(); st.NegHits != 1 {
+		t.Fatalf("NegHits = %d, want 1", st.NegHits)
+	}
+
+	// Inserting the file must invalidate the client's negative entry:
+	// the reply caches the file along the return path through cacheFile,
+	// whose Insert clears the entry.
+	ins, err := client.Insert(InsertSpec{Name: "never-inserted", Salt: 7, Content: []byte("now it exists")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ins.OK || ins.FileID != absent {
+		t.Fatalf("insert: %+v (want fileId %x)", ins, absent[:4])
+	}
+	got, err := client.Lookup(absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Negative {
+		t.Fatalf("post-insert lookup: %+v", got)
+	}
+	if !bytes.Equal(got.Content, []byte("now it exists")) {
+		t.Fatal("wrong content after invalidation")
+	}
+}
+
+func TestEngineCountersInSnapshot(t *testing.T) {
+	c := testCluster(t, 20, engineCfg(), 1<<20, 12)
+	client := c.RandomAliveNode()
+
+	res, err := client.Insert(InsertSpec{Name: "f", Content: bytes.Repeat([]byte("x"), 512)})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %+v err=%v", res, err)
+	}
+	if _, err := client.Lookup(res.FileID); err != nil {
+		t.Fatal(err)
+	}
+	client.Lookup(id.NewFile("ghost", nil, 1))
+	client.Lookup(id.NewFile("ghost", nil, 1)) // negative hit
+
+	snap := client.StatsSnapshot()
+	if snap.Get(obs.CtrCacheShards) != 4 {
+		t.Fatalf("shards counter = %d, want 4", snap.Get(obs.CtrCacheShards))
+	}
+	if snap.Get(obs.CtrCacheNegHits) != 1 {
+		t.Fatalf("neg hits counter = %d, want 1", snap.Get(obs.CtrCacheNegHits))
+	}
+	// The legacy series must stay coherent with the engine's tiers.
+	eng := client.Cache().Stats()
+	if snap.Get(obs.CtrCacheHits) != eng.Hits() || snap.Get(obs.CtrCacheMisses) != eng.Misses {
+		t.Fatalf("legacy series diverged: snap=(%d,%d) engine=(%d,%d)",
+			snap.Get(obs.CtrCacheHits), snap.Get(obs.CtrCacheMisses), eng.Hits(), eng.Misses)
+	}
+}
+
+// TestFlashTierOnNode runs a node whose cache engine spills to a flash
+// tier and verifies a cached-but-evicted file is still served — with
+// the engine reporting flash activity.
+func TestFlashTierOnNode(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CacheEngine = &cachengine.Config{
+		Shards:   1,
+		RAMBytes: 2 << 10, // tiny RAM tier forces spills
+		Flash: &cachengine.FlashConfig{
+			Dir:          t.TempDir(),
+			Capacity:     1 << 20,
+			SegmentBytes: 32 << 10,
+		},
+	}
+	c := testCluster(t, 16, cfg, 1<<20, 13)
+	client := c.RandomAliveNode()
+
+	// Insert files through the overlay; the replies cache them on the
+	// client (the access point), where the tiny RAM tier evicts older
+	// entries into flash.
+	var files []id.File
+	for i := 0; i < 12; i++ {
+		content := bytes.Repeat([]byte{byte('a' + i)}, 700)
+		res, err := client.Insert(InsertSpec{Name: "flashfile", Salt: uint64(i), Content: content})
+		if err != nil || !res.OK {
+			t.Fatalf("insert %d: %+v err=%v", i, res, err)
+		}
+		files = append(files, res.FileID)
+	}
+	st := client.Cache().Stats()
+	if st.FlashSpills == 0 {
+		t.Fatalf("tiny RAM tier never spilled: %+v", st)
+	}
+
+	// Every file must still be retrievable; files the client holds only
+	// in flash are served from there (FromCache, zero hops).
+	for i, f := range files {
+		got, err := client.Lookup(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Found || !bytes.Equal(got.Content, bytes.Repeat([]byte{byte('a' + i)}, 700)) {
+			t.Fatalf("file %d: %+v", i, got)
+		}
+	}
+	if st := client.Cache().Stats(); st.FlashHits == 0 {
+		t.Fatalf("lookups never hit flash: %+v", st)
+	}
+	if err := client.Cache().Close(); err != nil {
+		t.Fatal(err)
+	}
+}

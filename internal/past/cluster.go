@@ -46,6 +46,10 @@ type ClusterSpec struct {
 	// still registered on the raw Network; only their outgoing view is
 	// wrapped. Called once per node in build order.
 	WrapNet func(nid id.Node, inner netsim.Net) netsim.Net
+	// PerNode, if set, derives node i's configuration from the shared
+	// Cfg — the hook for per-node state such as a cache engine's flash
+	// directory. Called once per node in build order.
+	PerNode func(i int, cfg Config) Config
 }
 
 // NewCluster builds the network by sequential joins, each new node
@@ -80,7 +84,11 @@ func NewCluster(spec ClusterSpec) (*Cluster, error) {
 		if spec.WrapNet != nil {
 			nnet = spec.WrapNet(nid, c.Net)
 		}
-		node := New(nid, nnet, spec.Cfg, spec.Capacity(i, c.rng), c.rng.Int63())
+		ncfg := spec.Cfg
+		if spec.PerNode != nil {
+			ncfg = spec.PerNode(i, ncfg)
+		}
+		node := New(nid, nnet, ncfg, spec.Capacity(i, c.rng), c.rng.Int63())
 		c.Net.Register(nid, positions[i], node)
 		if i == 0 {
 			node.Overlay().Bootstrap()

@@ -26,6 +26,11 @@ type LookupResult struct {
 	// through a pointer — the one additional RPC the paper charges to
 	// replica diversion (section 3.3).
 	Indirect bool
+	// Negative reports that the not-found answer came from this node's
+	// negative cache — a recent full lookup already missed, so the
+	// request was not routed at all. Only possible when the cache
+	// engine's negative cache is enabled.
+	Negative bool
 	// Trace holds the per-hop route records of the attempt that produced
 	// this result, when the operation was sampled by Config.Tracer.
 	Trace []obs.HopRecord
@@ -48,6 +53,12 @@ func (n *Node) Lookup(f id.File) (*LookupResult, error) {
 // different first hop when the policy enables them.
 func (n *Node) LookupContext(ctx context.Context, f id.File) (*LookupResult, error) {
 	n.st().Lookups.Add(1)
+	// A recent full lookup already came back not-found: answer locally
+	// without routing. Any insert evidence for f invalidates the entry,
+	// so a false negative lasts only until the file is next sighted.
+	if n.cache.NegativeHit(f) {
+		return &LookupResult{Found: false, Negative: true}, nil
+	}
 	traced := n.cfg.Tracer.ShouldSample()
 	pol, hasPol := n.policy()
 	attempt := func(actx context.Context) (any, error) {
@@ -80,6 +91,12 @@ func (n *Node) LookupContext(ctx context.Context, f id.File) (*LookupResult, err
 	res, _ := out.(*LookupResult)
 	if res == nil {
 		res = &LookupResult{Found: false}
+	}
+	if !res.Found {
+		// A completed route answered not-found (transient routing
+		// failures surface as errors above, not here): remember it so
+		// repeated lookups for the absent file stop consuming routing.
+		n.cache.NoteMiss(f)
 	}
 	if traced {
 		routeHops := res.Hops

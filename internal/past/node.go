@@ -28,6 +28,7 @@ import (
 
 	"past/internal/admit"
 	"past/internal/cache"
+	"past/internal/cachengine"
 	"past/internal/cert"
 	"past/internal/id"
 	"past/internal/netsim"
@@ -56,6 +57,16 @@ type Config struct {
 	// CacheFrac is the insertion-policy fraction c: cache a file only if
 	// its size is below c times the current cache capacity. Paper: 1.
 	CacheFrac float64
+	// CacheEngine, when non-nil, tunes the node's cache engine beyond
+	// the paper's single policy structure: RAM-tier sharding, the
+	// admission doorkeeper, the negative cache, and the flash tier
+	// (see internal/cachengine). Policy and Frac are taken from
+	// CachePolicy/CacheFrac unless explicitly overridden here. Nil runs
+	// the engine in its legacy-equivalent configuration — one shard,
+	// no extras — which is operation-for-operation identical to the
+	// original cache.Cache, keeping the trace-driven experiments'
+	// fingerprints intact.
+	CacheEngine *cachengine.Config
 	// VerifyCerts enables certificate generation and verification on the
 	// insert/lookup/reclaim paths. Requires Issuer, and smartcards on
 	// the participating nodes. The trace-driven experiments disable it,
@@ -183,7 +194,7 @@ type Node struct {
 
 	mu    sync.Mutex
 	store store.Backend
-	cache *cache.Cache
+	cache *cachengine.Engine
 	card  *cert.Smartcard
 	rng   *rand.Rand
 	retry retryState
@@ -212,14 +223,47 @@ func New(nid id.Node, net netsim.Net, cfg Config, capacity int64, seed int64) *N
 
 // NewWithStore creates a PAST node over an explicit storage backend —
 // a store.DiskStore for a persistent daemon, the in-memory store for
-// emulation.
+// emulation. It panics if the cache engine cannot start, which is only
+// possible with a misconfigured flash tier — callers that enable flash
+// should use NewWithStoreEngine and handle the error.
 func NewWithStore(nid id.Node, net netsim.Net, cfg Config, backend store.Backend, seed int64) *Node {
+	n, err := NewWithStoreEngine(nid, net, cfg, backend, seed)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// cacheEngineConfig resolves the node's effective cachengine.Config:
+// the optional CacheEngine tuning with Policy/Frac inherited from the
+// paper-level knobs unless explicitly overridden.
+func (c Config) cacheEngineConfig() cachengine.Config {
+	var ec cachengine.Config
+	if c.CacheEngine != nil {
+		ec = *c.CacheEngine
+	}
+	if ec.Policy == cache.None {
+		ec.Policy = c.CachePolicy
+	}
+	if ec.Frac == 0 {
+		ec.Frac = c.CacheFrac
+	}
+	return ec
+}
+
+// NewWithStoreEngine is NewWithStore surfacing cache-engine startup
+// errors (a flash tier whose directory cannot be opened).
+func NewWithStoreEngine(nid id.Node, net netsim.Net, cfg Config, backend store.Backend, seed int64) (*Node, error) {
 	cfg = cfg.withDefaults()
+	eng, err := cachengine.New(cfg.cacheEngineConfig())
+	if err != nil {
+		return nil, fmt.Errorf("past: cache engine: %w", err)
+	}
 	n := &Node{
 		cfg:   cfg,
 		stats: &obs.NodeStats{},
 		store: backend,
-		cache: cache.New(cfg.CachePolicy, cfg.CacheFrac),
+		cache: eng,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 	// Both layers share the instrumented view of the network, so every
@@ -245,7 +289,7 @@ func NewWithStore(nid id.Node, net netsim.Net, cfg Config, backend store.Backend
 	if cfg.K > n.overlay.Config().L/2+1 {
 		panic(fmt.Sprintf("past: k=%d exceeds l/2+1=%d", cfg.K, n.overlay.Config().L/2+1))
 	}
-	return n
+	return n, nil
 }
 
 // Overlay returns the underlying Pastry node (for Bootstrap/Join and
@@ -276,12 +320,16 @@ func (n *Node) Utilization() float64 {
 	return n.store.Utilization()
 }
 
-// CacheStats returns cumulative cache hits, misses, and evictions.
+// CacheStats returns cumulative cache hits (across the RAM and flash
+// tiers), misses, and evictions.
 func (n *Node) CacheStats() (hits, misses, evictions int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cache.Stats()
+	st := n.cache.Stats()
+	return st.Hits(), st.Misses, st.Evictions
 }
+
+// Cache returns the node's cache engine, for the daemon's shutdown
+// path (flash teardown) and the load driver's tier statistics.
+func (n *Node) Cache() *cachengine.Engine { return n.cache }
 
 // StoreSnapshot returns the node's replica entries and pointers, for
 // invariant checking in tests and the state printer.
@@ -310,8 +358,10 @@ func (n *Node) addReplicaLocked(e store.Entry) error {
 		n.cache.SetLimit(n.store.Free())
 		return err
 	}
-	// The replica must not also linger as a cached copy.
+	// The replica must not also linger as a cached copy — and a stored
+	// replica is existence evidence, clearing any negative-cache entry.
 	n.cache.Remove(e.File)
+	n.cache.Invalidate(e.File)
 	n.cache.SetLimit(n.store.Free())
 	n.st().ReplicasStored.Add(1)
 	if e.Kind == store.DivertedIn {
@@ -367,10 +417,15 @@ func (n *Node) StatsSnapshot() obs.Snapshot {
 	snap.Set(obs.CtrStorePointers, int64(len(n.store.Pointers())))
 	snap.Set(obs.CtrCacheBytes, n.cache.Used())
 	snap.Set(obs.CtrCacheEntries, int64(n.cache.Len()))
-	hits, misses, evictions := n.cache.Stats()
-	snap.Set(obs.CtrCacheHits, hits)
-	snap.Set(obs.CtrCacheMisses, misses)
-	snap.Set(obs.CtrCacheEvictions, evictions)
+	// Legacy cache series (hits = RAM + flash), plus the engine's own
+	// per-tier counters under cachengine_* names.
+	cst := n.cache.Stats()
+	snap.Set(obs.CtrCacheHits, cst.Hits())
+	snap.Set(obs.CtrCacheMisses, cst.Misses)
+	snap.Set(obs.CtrCacheEvictions, cst.Evictions)
+	for name, v := range n.cache.ObsCounters() {
+		snap.Set(name, v)
+	}
 	snap.Set(obs.CtrBelowKEvents, n.belowK)
 	// Backends with their own instrumentation (the log-structured store)
 	// export it through the same snapshot.

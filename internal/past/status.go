@@ -43,7 +43,8 @@ func (n *Node) Status() Status {
 		CacheEntries: n.cache.Len(),
 		BelowKEvents: n.belowK,
 	}
-	st.CacheHits, st.CacheMisses, _ = n.cache.Stats()
+	cst := n.cache.Stats()
+	st.CacheHits, st.CacheMisses = cst.Hits(), cst.Misses
 	for _, e := range n.store.Entries() {
 		if e.Kind == store.DivertedIn {
 			st.DivertedIn++
