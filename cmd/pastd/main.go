@@ -1,349 +1,19 @@
-// Command pastd runs one PAST storage node over TCP.
-//
-// Start the first node of a network:
+// Command pastd runs one PAST storage node over TCP. The daemon logic
+// itself lives in internal/daemon so other executables (the
+// past-cluster orchestrator, the cluster integration tests) can host
+// the identical node as a real subprocess; see that package for the
+// full flag reference.
 //
 //	pastd -addr 127.0.0.1:7001 -capacity 64MB
-//
-// Join additional nodes to it:
-//
 //	pastd -addr 127.0.0.1:7002 -capacity 64MB -join 127.0.0.1:7001
-//
-// The node then accepts overlay traffic from peers and client requests
-// from pastctl. The proximity metric is an emulated 2-D coordinate
-// (-x/-y); a deployment would substitute network measurements.
-//
-// With -debug-addr the node additionally serves a plaintext debug
-// endpoint: Prometheus-format metrics at /metrics and the standard
-// net/http/pprof profiling handlers under /debug/pprof/.
 package main
 
 import (
-	"crypto/rand"
-	"flag"
-	"fmt"
-	"io"
-	"log"
-	"math"
-	mrand "math/rand"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
-	"os/signal"
-	"path/filepath"
-	"strconv"
-	"strings"
-	"syscall"
-	"time"
 
-	"past/internal/admit"
-	"past/internal/cachengine"
-	"past/internal/id"
-	"past/internal/logstore"
-	"past/internal/obs"
-	"past/internal/past"
-	"past/internal/store"
-	"past/internal/topology"
-	"past/internal/transport"
-	"past/internal/wire"
+	"past/internal/daemon"
 )
 
 func main() {
-	var (
-		addr      = flag.String("addr", "127.0.0.1:7001", "listen address (host:port; must be reachable by peers)")
-		capacity  = flag.String("capacity", "64MB", "advertised storage capacity (e.g. 512KB, 64MB, 2GB)")
-		dataDir   = flag.String("data", "", "data directory for persistent storage (empty: in-memory)")
-		join      = flag.String("join", "", "address of an existing node to join via (empty: bootstrap a new network)")
-		x         = flag.Float64("x", math.NaN(), "proximity-plane x coordinate (default random)")
-		y         = flag.Float64("y", math.NaN(), "proximity-plane y coordinate (default random)")
-		k         = flag.Int("k", 5, "replication factor")
-		leafSet   = flag.Int("l", 32, "Pastry leaf set size")
-		keepalive = flag.Duration("keepalive", 5*time.Second, "leaf-set keep-alive period")
-		seed      = flag.Int64("seed", 0, "node id seed (0: cryptographically random)")
-
-		storeKind  = flag.String("store", "", "storage backend: mem, disk, or log (empty: disk when -data is set, else mem)")
-		syncPolicy = flag.String("sync", "always", "log store durability: always (group commit), interval, or never")
-		syncEvery  = flag.Duration("sync-every", 100*time.Millisecond, "log store: fsync period for -sync=interval")
-		segBytes   = flag.String("segment-bytes", "64MB", "log store: target segment size before rotation")
-		ckptBytes  = flag.String("checkpoint-bytes", "4MB", "log store: WAL bytes between automatic checkpoints (0: disable)")
-		compactR   = flag.Float64("compact-ratio", 0.5, "log store: compact a sealed segment when its live fraction falls below this (negative: disable)")
-		compactEv  = flag.Duration("compact-every", time.Minute, "log store: background compaction scan period (0: disable)")
-
-		retries    = flag.Int("retries", 0, "resilience layer: attempts per client operation, with backoff (0: single attempt, no retry layer)")
-		hedge      = flag.Duration("hedge", 0, "hedged lookups: delay before a second attempt races the first through a different first hop (0: off; needs -retries)")
-		hopTimeout = flag.Duration("hop-timeout", 2*time.Second, "per-hop routing RPC timeout before trying an alternate (0: unbounded)")
-		partial    = flag.Bool("partial-insert", false, "accept inserts that stored at least one but fewer than k replicas; maintenance repairs the shortfall")
-		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address (empty: off)")
-
-		admitRate   = flag.Float64("admit-rate", 0, "admission control: sustained request rate in req/s; excess load is shed with an overload error (0: off)")
-		admitBurst  = flag.Int("admit-burst", 8, "admission control: token-bucket burst")
-		admitDepth  = flag.Int("admit-depth", 16, "admission control: bounded queue depth before shedding")
-		admitPolicy = flag.String("admit-policy", "droptail", "admission control: shed policy — droptail, dropfront, or lifo")
-
-		cacheShards = flag.Int("cache-shards", 8, "cache engine: RAM-tier shard count (rounded up to a power of two; 1 = legacy single structure)")
-		cacheRAM    = flag.String("cache-ram", "0", "cache engine: RAM-tier cap (e.g. 16MB); 0 lets the cache use all free store space, as the paper does")
-		cacheDoor   = flag.Bool("cache-doorkeeper", false, "cache engine: admit a file only on its second offer within a window (one-hit-wonder filter)")
-		cacheNeg    = flag.Int("cache-negative", 0, "cache engine: negative-cache entries — repeated lookups for absent files answer locally (0: off)")
-		cacheFlash  = flag.String("cache-flash", "0", "cache engine: flash-tier capacity (e.g. 256MB); spills RAM evictions into segments under <data>/flashcache (0: off; needs -data)")
-		cacheFlSeg  = flag.String("cache-flash-segment", "4MB", "cache engine: flash segment rotation target")
-	)
-	flag.Parse()
-
-	capBytes, err := parseSize(*capacity)
-	if err != nil {
-		log.Fatalf("pastd: %v", err)
-	}
-
-	var nid id.Node
-	if *seed != 0 {
-		r := mrand.New(mrand.NewSource(*seed))
-		r.Read(nid[:])
-	} else if _, err := rand.Read(nid[:]); err != nil {
-		log.Fatalf("pastd: node id: %v", err)
-	}
-
-	pos := topology.Point{X: *x, Y: *y}
-	if math.IsNaN(pos.X) || math.IsNaN(pos.Y) {
-		r := mrand.New(mrand.NewSource(time.Now().UnixNano()))
-		pos = topology.DefaultPlane.RandomPoint(r)
-	}
-
-	wire.RegisterWire()
-	past.RegisterWire()
-
-	tr, err := transport.New(nid, *addr, pos)
-	if err != nil {
-		log.Fatalf("pastd: %v", err)
-	}
-	cfg := past.DefaultConfig()
-	cfg.K = *k
-	cfg.Pastry.L = *leafSet
-	cfg.Pastry.HopTimeout = *hopTimeout
-	cfg.PartialInsert = *partial
-	if *retries > 0 {
-		cfg.Retry = &past.RetryPolicy{
-			MaxAttempts: *retries,
-			BaseDelay:   50 * time.Millisecond,
-			Timeout:     5 * time.Second,
-			JitterSeed:  time.Now().UnixNano(),
-			Hedge:       *hedge > 0,
-			HedgeDelay:  *hedge,
-		}
-	}
-	if *admitRate > 0 {
-		pol, err := admit.ParsePolicy(*admitPolicy)
-		if err != nil {
-			log.Fatalf("pastd: %v", err)
-		}
-		cfg.Admit = &admit.Config{
-			Rate:   *admitRate,
-			Burst:  *admitBurst,
-			Depth:  *admitDepth,
-			Policy: pol,
-		}
-	}
-	cacheRAMBytes, err := parseSize(*cacheRAM)
-	if err != nil {
-		log.Fatalf("pastd: -cache-ram: %v", err)
-	}
-	cacheFlashBytes, err := parseSize(*cacheFlash)
-	if err != nil {
-		log.Fatalf("pastd: -cache-flash: %v", err)
-	}
-	cfg.CacheEngine = &cachengine.Config{
-		Shards:          *cacheShards,
-		RAMBytes:        cacheRAMBytes,
-		Doorkeeper:      *cacheDoor,
-		NegativeEntries: *cacheNeg,
-	}
-	if cacheFlashBytes > 0 {
-		if *dataDir == "" {
-			log.Fatalf("pastd: -cache-flash requires -data")
-		}
-		flashSeg, err := parseSize(*cacheFlSeg)
-		if err != nil {
-			log.Fatalf("pastd: -cache-flash-segment: %v", err)
-		}
-		cfg.CacheEngine.Flash = &cachengine.FlashConfig{
-			Dir:          filepath.Join(*dataDir, "flashcache"),
-			Capacity:     cacheFlashBytes,
-			SegmentBytes: flashSeg,
-		}
-	}
-
-	kind := *storeKind
-	if kind == "" {
-		if *dataDir != "" {
-			kind = "disk"
-		} else {
-			kind = "mem"
-		}
-	}
-	var backend store.Backend
-	switch kind {
-	case "mem":
-		backend = store.New(capBytes)
-	case "disk":
-		if *dataDir == "" {
-			log.Fatalf("pastd: -store=disk requires -data")
-		}
-		backend, err = store.OpenDisk(*dataDir, capBytes)
-		if err != nil {
-			log.Fatalf("pastd: %v", err)
-		}
-		log.Printf("pastd: persistent storage at %s (%d replicas on disk)", *dataDir, backend.Len())
-	case "log":
-		if *dataDir == "" {
-			log.Fatalf("pastd: -store=log requires -data")
-		}
-		policy, err := logstore.ParseSyncPolicy(*syncPolicy)
-		if err != nil {
-			log.Fatalf("pastd: %v", err)
-		}
-		segTarget, err := parseSize(*segBytes)
-		if err != nil {
-			log.Fatalf("pastd: -segment-bytes: %v", err)
-		}
-		ckpt, err := parseSize(*ckptBytes)
-		if err != nil {
-			log.Fatalf("pastd: -checkpoint-bytes: %v", err)
-		}
-		if ckpt == 0 {
-			ckpt = -1
-		}
-		ls, err := logstore.Open(*dataDir, logstore.Options{
-			Capacity:        capBytes,
-			Sync:            policy,
-			SyncEvery:       *syncEvery,
-			SegmentTarget:   segTarget,
-			CheckpointBytes: ckpt,
-			CompactRatio:    *compactR,
-			CompactEvery:    *compactEv,
-		})
-		if err != nil {
-			log.Fatalf("pastd: %v", err)
-		}
-		st := ls.Stats()
-		log.Printf("pastd: log-structured storage at %s (%d replicas, %d WAL records replayed in %s, %d torn tails truncated, sync=%s)",
-			*dataDir, ls.Len(), st.RecoveredRecords.Load(),
-			time.Duration(st.RecoveryNanos.Load()), st.TornTruncations.Load(), policy)
-		backend = ls
-	default:
-		log.Fatalf("pastd: unknown -store %q (want mem, disk, or log)", kind)
-	}
-	node, err := past.NewWithStoreEngine(nid, tr, cfg, backend, int64(nid[0])<<8|int64(nid[1]))
-	if err != nil {
-		log.Fatalf("pastd: %v", err)
-	}
-	ec := node.Cache().Config()
-	if ec.Flash != nil {
-		log.Printf("pastd: cache engine: %d shards, flash tier %d bytes at %s", ec.Shards, ec.Flash.Capacity, ec.Flash.Dir)
-	} else {
-		log.Printf("pastd: cache engine: %d shards", ec.Shards)
-	}
-	tr.Serve(node)
-
-	if *debugAddr != "" {
-		ln, err := net.Listen("tcp", *debugAddr)
-		if err != nil {
-			log.Fatalf("pastd: debug listener: %v", err)
-		}
-		go func() {
-			if err := http.Serve(ln, newDebugMux(node)); err != nil {
-				log.Printf("pastd: debug server: %v", err)
-			}
-		}()
-		log.Printf("pastd: debug endpoint on http://%s/ (metrics, pprof)", ln.Addr())
-	}
-
-	if *join == "" {
-		node.Overlay().Bootstrap()
-		log.Printf("pastd: bootstrapped network; node %s listening on %s (capacity %d bytes)",
-			nid.Short(), tr.Addr(), capBytes)
-	} else {
-		bootID, err := tr.Bootstrap(*join)
-		if err != nil {
-			log.Fatalf("pastd: %v", err)
-		}
-		if err := node.Overlay().Join(bootID); err != nil {
-			log.Fatalf("pastd: join: %v", err)
-		}
-		log.Printf("pastd: node %s joined via %s; listening on %s", nid.Short(), *join, tr.Addr())
-	}
-
-	ticker := time.NewTicker(*keepalive)
-	defer ticker.Stop()
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	for {
-		select {
-		case <-ticker.C:
-			if dead := node.Overlay().CheckLeafSet(); len(dead) > 0 {
-				for _, d := range dead {
-					log.Printf("pastd: leaf-set member %s presumed failed", d.Short())
-				}
-			}
-		case <-sig:
-			log.Printf("pastd: leaving gracefully")
-			lr := node.Leave()
-			log.Printf("pastd: offloaded %d replicas (%d failed, %d owners notified)",
-				lr.Offloaded, lr.Failed, lr.OwnersNotified)
-			if err := node.Cache().Close(); err != nil {
-				log.Printf("pastd: cache close: %v", err)
-			}
-			if c, ok := backend.(io.Closer); ok {
-				if err := c.Close(); err != nil {
-					log.Printf("pastd: store close: %v", err)
-				}
-			}
-			if err := tr.Close(); err != nil {
-				log.Printf("pastd: close: %v", err)
-			}
-			return
-		}
-	}
-}
-
-// newDebugMux builds the debug endpoint: live node metrics in the
-// Prometheus text format at /metrics, the standard pprof handlers under
-// /debug/pprof/, and an index at /.
-func newDebugMux(node *past.Node) *http.ServeMux {
-	mux := http.NewServeMux()
-	labels := map[string]string{"node": node.ID().Short()}
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := obs.WriteProm(w, node.StatsSnapshot(), labels); err != nil {
-			log.Printf("pastd: /metrics: %v", err)
-		}
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "pastd %s\n/metrics\n/debug/pprof/\n", node.ID().Short())
-	})
-	return mux
-}
-
-// parseSize parses sizes like "512", "64KB", "2MB", "1GB".
-func parseSize(s string) (int64, error) {
-	u := strings.ToUpper(strings.TrimSpace(s))
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(u, "GB"):
-		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
-	case strings.HasSuffix(u, "MB"):
-		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
-	case strings.HasSuffix(u, "KB"):
-		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
-	case strings.HasSuffix(u, "B"):
-		u = strings.TrimSuffix(u, "B")
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("invalid size %q", s)
-	}
-	return n * mult, nil
+	os.Exit(daemon.Run(os.Args[1:]))
 }

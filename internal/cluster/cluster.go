@@ -1,0 +1,442 @@
+package cluster
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"past/internal/daemon"
+	"past/internal/id"
+	"past/internal/logstore"
+	"past/internal/obs"
+	"past/internal/past"
+	"past/internal/topology"
+	"past/internal/transport"
+	"past/internal/wire"
+)
+
+// Config shapes a fleet.
+type Config struct {
+	// Nodes is the fleet size. Required.
+	Nodes int
+	// Seed fixes node identities (each process gets a derived -seed) and
+	// the scenario schedule. Required nonzero for reproducible runs.
+	Seed int64
+	// K is the replication factor (default 3).
+	K int
+	// Capacity is each node's advertised capacity (default "64MB").
+	Capacity string
+	// Store is the storage backend (default "log"; fsck support needs log).
+	Store string
+	// Dir is the base directory for per-node data dirs and captured
+	// logs. Empty: a fresh temp directory (see Dir()).
+	Dir string
+	// Command launches the daemon (default SelfCommand()).
+	Command Command
+	// Keepalive is the daemons' leaf-set keep-alive period (default
+	// 500ms — failure detection is the churn clock, so fleets converge
+	// faster than the 5s production default).
+	Keepalive time.Duration
+	// Maintain is the daemons' periodic anti-entropy period (default 1s).
+	Maintain time.Duration
+	// ReadyTimeout bounds each node's boot-to-healthy wait (default 30s).
+	ReadyTimeout time.Duration
+	// ExitTimeout bounds graceful-leave waits (default 20s).
+	ExitTimeout time.Duration
+	// ExtraArgs are appended to every daemon's argv.
+	ExtraArgs []string
+	// Out receives orchestrator narration (nil: discarded).
+	Out io.Writer
+	// Events receives the structured JSONL event stream (nil: none).
+	Events *obs.EventLog
+}
+
+func (c *Config) withDefaults() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: Nodes must be > 0")
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.Capacity == "" {
+		c.Capacity = "64MB"
+	}
+	if c.Store == "" {
+		c.Store = "log"
+	}
+	if c.Keepalive <= 0 {
+		c.Keepalive = 500 * time.Millisecond
+	}
+	if c.Maintain <= 0 {
+		c.Maintain = time.Second
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 30 * time.Second
+	}
+	if c.ExitTimeout <= 0 {
+		c.ExitTimeout = 20 * time.Second
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.Command.Path == "" {
+		cmd, err := SelfCommand()
+		if err != nil {
+			return fmt.Errorf("cluster: self command: %w", err)
+		}
+		c.Command = cmd
+	}
+	return nil
+}
+
+// Cluster is a running fleet.
+type Cluster struct {
+	cfg    Config
+	dir    string
+	tmpDir bool
+	Procs  []*Proc
+	client *transport.TCP
+}
+
+// Start boots the fleet: node 0 bootstraps a new network, every other
+// node joins via node 0 — each start gated on the previous node
+// reporting ready at /healthz, so join order is deterministic and the
+// overlay never sees a half-up bootstrap peer.
+func Start(cfg Config) (*Cluster, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	dir, tmp := cfg.Dir, false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "past-cluster-")
+		if err != nil {
+			return nil, err
+		}
+		dir, tmp = d, true
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "logs"), 0o755); err != nil {
+		return nil, err
+	}
+
+	addrs, err := freePorts(2 * cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	wire.RegisterWire()
+	past.RegisterWire()
+	var cid id.Node
+	if _, err := rand.Read(cid[:]); err != nil {
+		return nil, err
+	}
+	client, err := transport.New(cid, "127.0.0.1:0", topology.Point{})
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{cfg: cfg, dir: dir, tmpDir: tmp, client: client}
+	for i := 0; i < cfg.Nodes; i++ {
+		seed := cfg.Seed*1_000_003 + int64(i) + 1
+		if seed == 0 {
+			seed = int64(i) + 1
+		}
+		p := &Proc{
+			Index:     i,
+			Seed:      seed,
+			ID:        daemon.NodeIDFromSeed(seed),
+			Addr:      addrs[2*i],
+			DebugAddr: addrs[2*i+1],
+			DataDir:   filepath.Join(dir, fmt.Sprintf("node%02d", i)),
+			LogPath:   filepath.Join(dir, "logs", fmt.Sprintf("node%02d.log", i)),
+		}
+		c.Procs = append(c.Procs, p)
+	}
+
+	for i, p := range c.Procs {
+		join := ""
+		if i > 0 {
+			join = c.Procs[0].Addr
+		}
+		if err := p.start(cfg.Command, c.daemonArgs(p, join)); err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := p.waitReady(cfg.ReadyTimeout); err != nil {
+			c.Close()
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Out, "cluster: node %d (%s) up on %s\n", i, p.ID.Short(), p.Addr)
+	}
+	return c, nil
+}
+
+// daemonArgs builds one node's daemon argv. Positions on the proximity
+// plane are a deterministic function of the index, so routing locality
+// is reproducible across runs.
+func (c *Cluster) daemonArgs(p *Proc, joinAddr string) []string {
+	args := []string{
+		"-addr", p.Addr,
+		"-debug-addr", p.DebugAddr,
+		"-data", p.DataDir,
+		"-store", c.cfg.Store,
+		"-capacity", c.cfg.Capacity,
+		"-k", strconv.Itoa(c.cfg.K),
+		"-seed", strconv.FormatInt(p.Seed, 10),
+		"-keepalive", c.cfg.Keepalive.String(),
+		"-maintain", c.cfg.Maintain.String(),
+		"-retries", "3",
+		"-x", strconv.FormatFloat(float64(10+20*(p.Index%8)), 'f', -1, 64),
+		"-y", strconv.FormatFloat(float64(10+20*(p.Index/8)), 'f', -1, 64),
+	}
+	if joinAddr != "" {
+		args = append(args,
+			"-join", joinAddr,
+			"-join-retries", "20",
+			"-join-backoff", "100ms",
+		)
+	}
+	return append(args, c.cfg.ExtraArgs...)
+}
+
+// Dir returns the fleet's base directory (data dirs under node##/,
+// captured process logs under logs/).
+func (c *Cluster) Dir() string { return c.dir }
+
+// TempDir reports whether the base directory was created by Start (and
+// so is the caller's to remove).
+func (c *Cluster) TempDir() bool { return c.tmpDir }
+
+// Alive reports whether node i's process is currently running.
+func (c *Cluster) Alive(i int) bool { return c.Procs[i].alive() }
+
+// LiveIndexes returns the indexes of running nodes, ascending.
+func (c *Cluster) LiveIndexes() []int {
+	var out []int
+	for i, p := range c.Procs {
+		if p.alive() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Kill delivers SIGKILL to node i — the crash fault: no leave, no
+// flush, the logstore must recover — and waits for the process to die.
+func (c *Cluster) Kill(i int) error {
+	p := c.Procs[i]
+	if err := p.signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	if _, ok := p.waitExit(10 * time.Second); !ok {
+		return fmt.Errorf("cluster: node %d survived SIGKILL", i)
+	}
+	c.event(obs.Event{Kind: "fault", Node: p.ID.Short(), Op: "sigkill", N: int64(i)})
+	return nil
+}
+
+// Terminate delivers SIGTERM to node i — the graceful leave: the node
+// offloads replicas and closes its store clean — and waits for exit.
+// A leave that outlives ExitTimeout is escalated to SIGKILL and
+// reported as an error.
+func (c *Cluster) Terminate(i int) error {
+	p := c.Procs[i]
+	if err := p.signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	exitErr, ok := p.waitExit(c.cfg.ExitTimeout)
+	if !ok {
+		p.signal(syscall.SIGKILL)
+		p.waitExit(10 * time.Second)
+		return fmt.Errorf("cluster: node %d graceful leave exceeded %v; killed", i, c.cfg.ExitTimeout)
+	}
+	if exitErr != nil {
+		return fmt.Errorf("cluster: node %d graceful leave exited dirty: %v; log: %s", i, exitErr, p.LogPath)
+	}
+	c.event(obs.Event{Kind: "fault", Node: p.ID.Short(), Op: "sigterm", N: int64(i)})
+	return nil
+}
+
+// Restart boots a new life of node i (which must be down), rejoining
+// through a live peer, with capped backoff between attempts — the
+// supervisor's restart policy. The node keeps its identity (same seed,
+// same address) and its data directory, so a log store recovers its
+// previous life's replicas.
+func (c *Cluster) Restart(i int) error {
+	p := c.Procs[i]
+	if p.alive() {
+		return fmt.Errorf("cluster: node %d is still running", i)
+	}
+	join := ""
+	for _, li := range c.LiveIndexes() {
+		if li != i {
+			join = c.Procs[li].Addr
+			break
+		}
+	}
+	backoff := 200 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if err := p.start(c.cfg.Command, c.daemonArgs(p, join)); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := p.waitReady(c.cfg.ReadyTimeout); err != nil {
+			lastErr = err
+			if p.alive() {
+				p.signal(syscall.SIGKILL)
+				p.waitExit(10 * time.Second)
+			}
+			continue
+		}
+		p.Restarts++
+		c.event(obs.Event{Kind: "fault", Node: p.ID.Short(), Op: "restart", N: int64(i)})
+		return nil
+	}
+	return fmt.Errorf("cluster: node %d restart failed after backoff: %v", i, lastErr)
+}
+
+// Fsck runs the offline store checker on node i's data directory. The
+// process must be down; the store must be the log backend.
+func (c *Cluster) Fsck(i int) error {
+	p := c.Procs[i]
+	if p.alive() {
+		return fmt.Errorf("cluster: node %d is running; fsck needs the store closed", i)
+	}
+	if c.cfg.Store != "log" {
+		return fmt.Errorf("cluster: fsck supports -store=log only (have %q)", c.cfg.Store)
+	}
+	rep, err := logstore.Fsck(p.DataDir)
+	if err != nil {
+		return fmt.Errorf("cluster: fsck node %d: %w", i, err)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("cluster: fsck node %d found %d error(s):\n%s", i, len(rep.Errors), rep)
+	}
+	return nil
+}
+
+// invoke sends a client RPC to node i with one transparent retry on a
+// freshly restarted peer still settling (the transport already retries
+// stale pooled conns once; this covers the dial-refused window).
+func (c *Cluster) invoke(i int, msg any) (any, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		reply, err := c.client.InvokeAddr(c.Procs[i].Addr, msg)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Status fetches node i's operator snapshot.
+func (c *Cluster) Status(i int) (past.Status, error) {
+	reply, err := c.invoke(i, &past.ClientStatus{})
+	if err != nil {
+		return past.Status{}, err
+	}
+	sr, ok := reply.(*past.ClientStatusReply)
+	if !ok {
+		return past.Status{}, fmt.Errorf("cluster: unexpected status reply %T", reply)
+	}
+	return sr.Status, nil
+}
+
+// InsertVia inserts content through node i as the access point.
+func (c *Cluster) InsertVia(i int, name string, content []byte) (id.File, error) {
+	reply, err := c.invoke(i, &past.ClientInsert{Name: name, Content: content})
+	if err != nil {
+		return id.File{}, err
+	}
+	ir, ok := reply.(*past.ClientInsertReply)
+	if !ok {
+		return id.File{}, fmt.Errorf("cluster: unexpected insert reply %T", reply)
+	}
+	if !ir.OK {
+		return id.File{}, fmt.Errorf("cluster: insert rejected: %s", ir.Reason)
+	}
+	return ir.FileID, nil
+}
+
+// LookupVia retrieves f through node i as the access point.
+func (c *Cluster) LookupVia(i int, f id.File) (found bool, content []byte, err error) {
+	reply, err := c.invoke(i, &past.ClientLookup{File: f})
+	if err != nil {
+		return false, nil, err
+	}
+	lr, ok := reply.(*past.ClientLookupReply)
+	if !ok {
+		return false, nil, fmt.Errorf("cluster: unexpected lookup reply %T", reply)
+	}
+	return lr.Found, lr.Content, nil
+}
+
+// Close terminates every live node gracefully (escalating to SIGKILL on
+// timeout) and closes the client transport. The base directory is left
+// on disk; callers remove it when they don't need the logs.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for i, p := range c.Procs {
+		if !p.alive() {
+			continue
+		}
+		if err := p.signal(syscall.SIGTERM); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: close node %d: %w", i, err)
+		}
+	}
+	for i, p := range c.Procs {
+		if p.exited == nil {
+			continue
+		}
+		if _, ok := p.waitExit(c.cfg.ExitTimeout); !ok {
+			p.signal(syscall.SIGKILL)
+			p.waitExit(10 * time.Second)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: node %d did not exit on SIGTERM", i)
+			}
+		}
+	}
+	if c.client != nil {
+		c.client.Close()
+	}
+	return firstErr
+}
+
+func (c *Cluster) event(e obs.Event) { c.cfg.Events.Emit(e) }
+
+// freePorts reserves n distinct loopback ports by binding them all
+// before releasing any, so no two allocations collide with each other.
+// (Another process could still grab one in the gap; daemon start
+// failures surface through waitReady and the restart backoff.)
+func freePorts(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: reserve port: %w", err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}

@@ -1,0 +1,103 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"past/internal/cluster"
+)
+
+func TestPlanFaultsDeterministic(t *testing.T) {
+	a, err := cluster.PlanFaults(cluster.ScenarioMixed, 10, 6, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.PlanFaults(cluster.ScenarioMixed, 10, 6, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 {
+		t.Fatalf("want 6 faults (1 victim x 6 rounds), got %d", len(a))
+	}
+	if fpA, fpB := cluster.PlanFingerprint(a), cluster.PlanFingerprint(b); fpA != fpB {
+		t.Fatalf("same seed produced different plans: %s vs %s", fpA, fpB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := cluster.PlanFaults(cluster.ScenarioMixed, 10, 6, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.PlanFingerprint(a) == cluster.PlanFingerprint(c) {
+		t.Fatalf("seeds 1 and 2 produced identical plans")
+	}
+}
+
+func TestPlanFaultsKinds(t *testing.T) {
+	kill, err := cluster.PlanFaults(cluster.ScenarioKill, 8, 4, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kill) != 8 { // 2 victims x 4 rounds
+		t.Fatalf("kill plan: want 8 faults, got %d", len(kill))
+	}
+	for _, f := range kill {
+		if f.Kind != cluster.FaultKill {
+			t.Fatalf("kill scenario planned %q", f.Kind)
+		}
+	}
+	grace, err := cluster.PlanFaults(cluster.ScenarioGraceful, 8, 4, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range grace {
+		if f.Kind != cluster.FaultTerm {
+			t.Fatalf("graceful scenario planned %q", f.Kind)
+		}
+	}
+}
+
+func TestPlanFaultsRolling(t *testing.T) {
+	plan, err := cluster.PlanFaults(cluster.ScenarioRolling, 3, 5, 0.5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, f := range plan {
+		want := cluster.Fault{Round: r, Node: r % 3, Kind: cluster.FaultTerm}
+		if f != want {
+			t.Fatalf("rolling fault %d: got %+v, want %+v", r, f, want)
+		}
+	}
+}
+
+func TestPlanFaultsNeverKillsWholeFleet(t *testing.T) {
+	// killRate 5.0 would nominally disturb 5x the fleet; the planner
+	// caps victims at nodes-1 so a live member always remains.
+	plan, err := cluster.PlanFaults(cluster.ScenarioKill, 4, 3, 5.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRound := map[int]map[int]bool{}
+	for _, f := range plan {
+		if byRound[f.Round] == nil {
+			byRound[f.Round] = map[int]bool{}
+		}
+		if byRound[f.Round][f.Node] {
+			t.Fatalf("round %d disturbs node %d twice", f.Round, f.Node)
+		}
+		byRound[f.Round][f.Node] = true
+	}
+	for r, victims := range byRound {
+		if len(victims) != 3 {
+			t.Fatalf("round %d: want 3 victims (nodes-1), got %d", r, len(victims))
+		}
+	}
+	if _, err := cluster.PlanFaults("bogus", 4, 3, 0.1, 1); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	if _, err := cluster.PlanFaults(cluster.ScenarioKill, 1, 3, 0.1, 1); err == nil {
+		t.Fatal("single-node fleet must error")
+	}
+}

@@ -1,0 +1,96 @@
+package cluster_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"past/internal/cluster"
+	"past/internal/obs"
+)
+
+// TestRunScenarioSmall drives the full scenario runner against a real
+// 5-process fleet: seeded faults with restarts, fsck after every life,
+// convergence checks, and acked-write verification — and pins the
+// summary to the value derivable from the plan alone, which is what
+// makes repeated same-seed runs byte-identical.
+func TestRunScenarioSmall(t *testing.T) {
+	var events bytes.Buffer
+	log := obs.NewEventLog(&events)
+	c := startFleet(t, cluster.Config{Nodes: 5, Seed: 11, Events: log})
+
+	scfg := cluster.ScenarioConfig{
+		Scenario:        cluster.ScenarioMixed,
+		Rounds:          2,
+		KillRate:        0.2,
+		FilesPerRound:   3,
+		Seed:            11,
+		ConvergeTimeout: 60 * time.Second,
+	}
+	res, err := cluster.RunScenario(c, scfg)
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("scenario failed:\n%s", res)
+	}
+
+	// The summary must be derivable from the plan alone — that is the
+	// seed-stability contract: any two passing same-seed runs agree.
+	plan, err := cluster.PlanFaults(scfg.Scenario, 5, scfg.Rounds, scfg.KillRate, scfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := &cluster.ScenarioResult{
+		Scenario: scfg.Scenario,
+		Nodes:    5,
+		K:        3,
+		Seed:     scfg.Seed,
+		Rounds:   scfg.Rounds,
+		PlanFP:   cluster.PlanFingerprint(plan),
+		Checked:  true,
+	}
+	for _, f := range plan {
+		if f.Kind == cluster.FaultKill {
+			expect.PlannedKills++
+		} else {
+			expect.PlannedTerms++
+		}
+	}
+	expect.RoundsRun = expect.Rounds
+	expect.Kills, expect.Terms = expect.PlannedKills, expect.PlannedTerms
+	if got, want := res.Summary(), expect.Summary(); got != want {
+		t.Fatalf("summary not derivable from the plan:\n got %s\nwant %s", got, want)
+	}
+	if !strings.Contains(res.Summary(), "verdict=PASS") {
+		t.Fatalf("summary missing verdict: %s", res.Summary())
+	}
+
+	if err := log.Close(); err != nil {
+		t.Fatalf("event log: %v", err)
+	}
+	evs, err := obs.ReadEvents(&events)
+	if err != nil {
+		t.Fatalf("event stream unparseable: %v", err)
+	}
+	kinds := obs.CountByKind(evs)
+	if kinds["fault"] < len(plan) {
+		t.Fatalf("want >= %d fault events (plus restarts), got %d", len(plan), kinds["fault"])
+	}
+	if kinds["summary"] != 1 {
+		t.Fatalf("want 1 summary event, got %d", kinds["summary"])
+	}
+	if kinds["violation"] != 0 {
+		t.Fatalf("want 0 violation events, got %d", kinds["violation"])
+	}
+
+	// Fault rounds restarted their victims: lives beyond the first.
+	restarts := 0
+	for _, p := range c.Procs {
+		restarts += p.Restarts
+	}
+	if restarts != len(plan) {
+		t.Fatalf("want %d restarts, got %d", len(plan), restarts)
+	}
+}

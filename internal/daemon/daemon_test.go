@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"io"
@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"past/internal/id"
@@ -44,9 +45,24 @@ func TestParseSize(t *testing.T) {
 	}
 }
 
+// TestNodeIDFromSeed pins the seed -> nodeId derivation to the one Run
+// performs, so orchestrators that predict identities stay correct.
+func TestNodeIDFromSeed(t *testing.T) {
+	var want id.Node
+	r := mrand.New(mrand.NewSource(42))
+	r.Read(want[:])
+	if got := NodeIDFromSeed(42); got != want {
+		t.Fatalf("NodeIDFromSeed(42) = %s, want %s", got, want)
+	}
+	if NodeIDFromSeed(1) == NodeIDFromSeed(2) {
+		t.Fatal("distinct seeds produced the same node id")
+	}
+}
+
 // TestDebugMux drives the -debug-addr endpoint: /metrics serves the
-// node's registry in the Prometheus text format and the pprof handlers
-// answer under /debug/pprof/.
+// node's registry in the Prometheus text format, /healthz tracks the
+// readiness flag and join state, and the pprof handlers answer under
+// /debug/pprof/.
 func TestDebugMux(t *testing.T) {
 	wire.RegisterWire()
 	past.RegisterWire()
@@ -62,24 +78,58 @@ func TestDebugMux(t *testing.T) {
 	cfg.K = 1
 	node := past.New(nid, tr, cfg, 1<<20, 1)
 	tr.Serve(node)
-	node.Overlay().Bootstrap()
-	if _, err := node.Insert(past.InsertSpec{Name: "m", Content: []byte("abc")}); err != nil {
-		t.Fatal(err)
-	}
 
-	srv := httptest.NewServer(newDebugMux(node))
+	var ready atomic.Bool
+	srv := httptest.NewServer(NewDebugMux(node, &ready))
 	defer srv.Close()
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	// Before Bootstrap and before the ready flag: 503.
+	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, err := io.ReadAll(resp.Body)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz before join: status %d, want 503", resp.StatusCode)
+	}
+
+	node.Overlay().Bootstrap()
+	// Joined but the daemon has not flipped the flag yet: still 503.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz before ready: status %d, want 503", resp.StatusCode)
+	}
+
+	ready.Store(true)
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), nid.Short()) {
+		t.Fatalf("GET /healthz ready: status %d body %q", resp.StatusCode, body)
+	}
+
+	if _, err := node.Insert(past.InsertSpec{Name: "m", Content: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /metrics: status %d, err %v", resp.StatusCode, err)
 	}
-	out := string(body)
+	out := string(mb)
 	for _, want := range []string{
 		"# TYPE past_inserts_total counter",
 		"past_inserts_total{node=\"" + nid.Short() + "\"} 1",

@@ -137,9 +137,10 @@ func (n *Node) Deliver(from id.Node, msg any) (any, error) {
 			}
 		}
 		return n.handleClientRPC(msg)
-	case *ClientStatus, *ClientStats:
+	case *ClientStatus, *ClientStats, *ClientReplicaReport:
 		// Introspection stays ungated: an operator must be able to read
-		// load stats from an overloaded node.
+		// load stats from an overloaded node, and the live-fleet checker
+		// must be able to audit one mid-fault.
 		return n.handleClientRPC(msg)
 	default:
 		// Routed client work arriving over the network (this node is a

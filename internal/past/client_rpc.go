@@ -5,6 +5,7 @@ import (
 
 	"past/internal/id"
 	"past/internal/pastry"
+	"past/internal/store"
 )
 
 // Client RPCs: a PAST node doubles as the access point for remote
@@ -44,6 +45,30 @@ type ClientLookupReply struct {
 	Hops      int
 }
 
+// ClientReplicaReport asks the receiving node what it holds LOCALLY
+// for each listed file — replica (and its kind) and diverted-replica
+// pointer. It never routes. The past-cluster orchestrator snapshots
+// every live node with one of these and feeds the result to the same
+// chaos.Checker invariants the emulator enforces.
+type ClientReplicaReport struct {
+	Files []id.File
+}
+
+// ReplicaHold is one file's local state on one node.
+type ReplicaHold struct {
+	Has     bool    // node holds a replica (primary or diverted-in)
+	Primary bool    // the replica is primary (meaningful when Has)
+	HasPtr  bool    // node holds a diverted-replica pointer
+	Ptr     id.Node // the pointer target (meaningful when HasPtr)
+}
+
+// ClientReplicaReportReply carries the per-file holds, parallel to the
+// request's Files, plus the responder's identity.
+type ClientReplicaReportReply struct {
+	Node  id.Node
+	Holds []ReplicaHold
+}
+
 // ClientReclaim asks the receiving node to reclaim a file's storage.
 type ClientReclaim struct {
 	File id.File
@@ -78,6 +103,22 @@ func (n *Node) handleClientRPC(msg any) (any, error) {
 			return nil, err
 		}
 		return &ClientReclaimReply{Found: res.Found, Freed: res.Freed}, nil
+	case *ClientReplicaReport:
+		reply := &ClientReplicaReportReply{
+			Node:  n.ID(),
+			Holds: make([]ReplicaHold, len(m.Files)),
+		}
+		for i, f := range m.Files {
+			h := &reply.Holds[i]
+			if kind, ok := n.ReplicaKind(f); ok {
+				h.Has = true
+				h.Primary = kind == store.Primary
+			}
+			if tgt, ok := n.HasPointer(f); ok {
+				h.HasPtr, h.Ptr = true, tgt
+			}
+		}
+		return reply, nil
 	case *ClientStatus:
 		return &ClientStatusReply{Status: n.Status()}, nil
 	case *ClientStats:
@@ -124,6 +165,8 @@ func RegisterWire() {
 	gob.Register(&ClientLookupReply{})
 	gob.Register(&ClientReclaim{})
 	gob.Register(&ClientReclaimReply{})
+	gob.Register(&ClientReplicaReport{})
+	gob.Register(&ClientReplicaReportReply{})
 	gob.Register(&ClientStatus{})
 	gob.Register(&ClientStatusReply{})
 	gob.Register(&ClientStats{})

@@ -23,6 +23,11 @@ import (
 // exceedingly unlikely event.
 var ErrIDCollision = errors.New("pastry: nodeId collision, choose a new nodeId")
 
+// ErrNotJoined is returned to peers that reach a node which is not (or
+// not yet) part of the overlay: booting before its join completes, or
+// leaving. Callers treat it like a dead peer — purge and route around.
+var ErrNotJoined = errors.New("pastry: not joined")
+
 // Join inserts this node into the network via the bootstrap node, which
 // should be close to this node under the proximity metric. The node's
 // endpoint must already be registered with the network.

@@ -115,6 +115,18 @@ type Ack struct{}
 // wrapped by an application (PAST) route through the wrapper instead,
 // which delegates unknown messages here.
 func (n *Node) Deliver(from id.Node, msg any) (any, error) {
+	// A node that has not (re)joined is not on the overlay, even if its
+	// endpoint is reachable: a crashed node's replacement process binds
+	// the same address before rejoining, and answering pings or routes
+	// in that window would keep the previous incarnation's entries
+	// alive in peers' state — the join route would then terminate at
+	// the joiner itself and misread its own stale entry as an id
+	// collision. Refusing makes peers purge the entry (keep-alive
+	// failure) or route around it (next-hop failure), exactly as if the
+	// process were still down.
+	if !n.Joined() {
+		return nil, ErrNotJoined
+	}
 	switch m := msg.(type) {
 	case *RouteRequest:
 		// A relayed message runs under a fresh context: the originator's

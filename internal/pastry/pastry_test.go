@@ -1,6 +1,7 @@
 package pastry
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -433,6 +434,13 @@ func TestDeliverUnknownMessage(t *testing.T) {
 
 func TestPingPong(t *testing.T) {
 	n := New(id.NodeFromUint64(1), netsim.New(), Config{B: 4, L: 4}, nil, 1)
+	// Before (re)joining, the node is off the overlay even though its
+	// endpoint answers: pings are refused so a crashed predecessor's
+	// stale entries get purged rather than kept alive.
+	if _, err := n.Deliver(id.NodeFromUint64(2), &Ping{}); !errors.Is(err, ErrNotJoined) {
+		t.Fatalf("ping before join: err = %v; want ErrNotJoined", err)
+	}
+	n.Bootstrap()
 	res, err := n.Deliver(id.NodeFromUint64(2), &Ping{})
 	if err != nil {
 		t.Fatal(err)

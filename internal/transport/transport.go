@@ -43,6 +43,7 @@ type TCP struct {
 	dialTimeout time.Duration
 	dir         map[id.Node]wire.DirEntry
 	idle        map[id.Node][]*conn
+	idleAddr    map[string][]*conn
 	serving     map[net.Conn]struct{}
 	ep          netsim.Endpoint
 	ln          net.Listener
@@ -72,6 +73,7 @@ func New(self id.Node, addr string, pos topology.Point) (*TCP, error) {
 		dialTimeout: DefaultDialTimeout,
 		dir:         make(map[id.Node]wire.DirEntry),
 		idle:        make(map[id.Node][]*conn),
+		idleAddr:    make(map[string][]*conn),
 		serving:     make(map[net.Conn]struct{}),
 		ln:          ln,
 		done:        make(chan struct{}),
@@ -122,6 +124,12 @@ func (t *TCP) Close() error {
 		}
 	}
 	t.idle = make(map[id.Node][]*conn)
+	for _, cs := range t.idleAddr {
+		for _, c := range cs {
+			c.c.Close()
+		}
+	}
+	t.idleAddr = make(map[string][]*conn)
 	for c := range t.serving {
 		c.Close()
 	}
@@ -286,26 +294,66 @@ func rehydrateErr(s string) error {
 }
 
 // InvokeAddr sends msg directly to a known address (used before the
-// destination's nodeId is known, e.g. the first bootstrap contact).
+// destination's nodeId is known, e.g. the first bootstrap contact, and
+// by pure clients — pastctl, past-load, the past-cluster orchestrator —
+// that address nodes by socket rather than by id). Connections are
+// pooled per address. A pooled connection may have gone stale while
+// idle — the peer restarted, the socket half-closed — in which case the
+// first exchange fails at the socket layer; the request is then retried
+// exactly once on a fresh dial, so a killed-then-restarted node is
+// redialed transparently instead of surfacing a spurious decode error.
 // Remote errors are rehydrated onto the sentinel taxonomy, so callers
-// (the load driver, pastctl) can classify ErrOverloaded and friends.
+// can classify ErrOverloaded and friends across restarts too.
 func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
-	c, err := t.dial(context.Background(), addr)
+	req := &wire.Request{Src: t.self, Msg: msg}
+	c, pooled, err := t.getAddrConn(addr)
 	if err != nil {
 		return nil, err
 	}
-	defer c.c.Close()
-	if err := c.codec.WriteRequest(&wire.Request{Src: t.self, Msg: msg}); err != nil {
-		return nil, err
-	}
-	resp, err := c.codec.ReadResponse()
+	resp, err := roundTrip(context.Background(), c, req)
 	if err != nil {
-		return nil, err
+		c.c.Close()
+		if !pooled {
+			return nil, err
+		}
+		if c, err = t.dial(context.Background(), addr); err != nil {
+			return nil, err
+		}
+		if resp, err = roundTrip(context.Background(), c, req); err != nil {
+			c.c.Close()
+			return nil, err
+		}
 	}
+	t.putAddrConn(addr, c)
 	if resp.Err != "" {
 		return nil, rehydrateErr(resp.Err)
 	}
 	return resp.Msg, nil
+}
+
+// getAddrConn returns an idle pooled connection to addr if one exists
+// (pooled = true), else a fresh dial.
+func (t *TCP) getAddrConn(addr string) (*conn, bool, error) {
+	t.mu.Lock()
+	if cs := t.idleAddr[addr]; len(cs) > 0 {
+		c := cs[len(cs)-1]
+		t.idleAddr[addr] = cs[:len(cs)-1]
+		t.mu.Unlock()
+		return c, true, nil
+	}
+	t.mu.Unlock()
+	c, err := t.dial(context.Background(), addr)
+	return c, false, err
+}
+
+func (t *TCP) putAddrConn(addr string, c *conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.idleAddr[addr]) >= 2 {
+		c.c.Close()
+		return
+	}
+	t.idleAddr[addr] = append(t.idleAddr[addr], c)
 }
 
 // call performs one request/response on a pooled connection; a busy
