@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench experiments experiments-full examples soak-compare trace-demo fsck-demo overload-demo cache-demo cluster-demo cache-bench vet fmt clean
+.PHONY: all build test test-race race bench experiments experiments-full examples soak-compare trace-demo fsck-demo overload-demo cache-demo cluster-demo fleet-obs-demo cache-bench vet fmt clean
 
 all: build test
 
@@ -81,6 +81,15 @@ cluster-demo:
 		-rounds 2 -kill-rate 0.2 -check -v -data /tmp/past-cluster-demo \
 		-events-out /tmp/past-cluster-demo.jsonl
 	$(GO) run ./cmd/past-chaos -check-events /tmp/past-cluster-demo.jsonl
+
+# Fleet observability demo: boot a real 5-process cluster, drive client
+# traffic through it, then assert the aggregation plane end to end —
+# the combined /metrics endpoint serves per-node series plus the
+# node="fleet" aggregate, and a client-initiated trace comes back
+# stitched across at least two processes with per-hop RPC latencies.
+# Finishes in seconds.
+fleet-obs-demo:
+	$(GO) test -run TestFleetObsLive -count=1 -v ./internal/fleetobs/
 
 # Cache-engine demo: a deterministic virtual-time sweep of the three
 # cache configurations (legacy single structure, sharded engine with a

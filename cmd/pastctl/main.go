@@ -5,11 +5,13 @@
 //	pastctl -node 127.0.0.1:7001 lookup <fileId-hex> > report.pdf
 //	pastctl -node 127.0.0.1:7001 reclaim <fileId-hex>
 //	pastctl -node 127.0.0.1:7001 exists <fileId-hex>
+//	pastctl -node 127.0.0.1:7001 trace <fileId-hex>
 //	pastctl -node 127.0.0.1:7001 status
 //	pastctl -node 127.0.0.1:7001 stats
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"flag"
 	"fmt"
@@ -32,7 +34,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: pastctl [-node addr] insert <name> | lookup <fileId> | reclaim <fileId> | exists <fileId> | status | stats")
+		fmt.Fprintln(os.Stderr, "usage: pastctl [-node addr] insert <name> | lookup <fileId> | reclaim <fileId> | exists <fileId> | trace <fileId> | status | stats")
 		os.Exit(2)
 	}
 
@@ -100,6 +102,36 @@ func runCommand(tr *transport.TCP, node string, k int, args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "retrieved %d bytes in %d hops (cached=%v)\n", lr.Size, lr.Hops, lr.FromCache)
+		return nil
+
+	case "trace":
+		if len(args) != 2 {
+			return fmt.Errorf("trace needs a fileId")
+		}
+		f, err := id.ParseFile(args[1])
+		if err != nil {
+			return err
+		}
+		// A fresh trace context rides the wire envelope to the access
+		// point, which runs a hop-recorded lookup under it; every pastd
+		// the route crosses appends its records, and the stitched route
+		// comes back on the reply.
+		tc := obs.TraceContext{ID: obs.NewTraceID(), Sampled: true, Budget: obs.DefaultTraceBudget}
+		ctx := obs.ContextWithTrace(context.Background(), tc)
+		reply, err := tr.InvokeAddrContext(ctx, node, &past.ClientLookup{File: f})
+		if err != nil {
+			return err
+		}
+		lr := reply.(*past.ClientLookupReply)
+		trace := &obs.Trace{Op: "lookup", Key: f.Key(), Hops: lr.Trace, RouteHops: lr.Hops, OK: lr.Found}
+		nodes := make(map[string]bool)
+		for _, h := range lr.Trace {
+			nodes[h.From.Short()] = true
+		}
+		fmt.Printf("trace %016x via %s\n", lr.TraceID, node)
+		fmt.Printf("%s\n", trace.Detailed())
+		fmt.Fprintf(os.Stderr, "found=%v hops=%d records=%d processes=%d cached=%v\n",
+			lr.Found, lr.Hops, len(lr.Trace), len(nodes), lr.FromCache)
 		return nil
 
 	case "status":

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"io"
@@ -329,12 +330,16 @@ func (c *Cluster) Fsck(i int) error {
 // freshly restarted peer still settling (the transport already retries
 // stale pooled conns once; this covers the dial-refused window).
 func (c *Cluster) invoke(i int, msg any) (any, error) {
+	return c.invokeCtx(context.Background(), i, msg)
+}
+
+func (c *Cluster) invokeCtx(ctx context.Context, i int, msg any) (any, error) {
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
 			time.Sleep(100 * time.Millisecond)
 		}
-		reply, err := c.client.InvokeAddr(c.Procs[i].Addr, msg)
+		reply, err := c.client.InvokeAddrContext(ctx, c.Procs[i].Addr, msg)
 		if err == nil {
 			return reply, nil
 		}
@@ -383,6 +388,37 @@ func (c *Cluster) LookupVia(i int, f id.File) (found bool, content []byte, err e
 		return false, nil, fmt.Errorf("cluster: unexpected lookup reply %T", reply)
 	}
 	return lr.Found, lr.Content, nil
+}
+
+// TraceVia retrieves f through node i under a fresh trace context: the
+// reply carries the stitched cross-process route (per-hop records with
+// RPC latencies spanning every pastd the route crossed).
+func (c *Cluster) TraceVia(i int, f id.File) (*past.ClientLookupReply, error) {
+	tc := obs.TraceContext{ID: obs.NewTraceID(), Sampled: true, Budget: obs.DefaultTraceBudget}
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	reply, err := c.invokeCtx(ctx, i, &past.ClientLookup{File: f})
+	if err != nil {
+		return nil, err
+	}
+	lr, ok := reply.(*past.ClientLookupReply)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unexpected lookup reply %T", reply)
+	}
+	return lr, nil
+}
+
+// ObsReport fetches node i's identity and full observability snapshot
+// in one round trip — the fleet scraper's collection path.
+func (c *Cluster) ObsReport(i int) (id.Node, obs.Snapshot, error) {
+	reply, err := c.invoke(i, &past.ClientObsReport{})
+	if err != nil {
+		return id.Node{}, obs.Snapshot{}, err
+	}
+	rep, ok := reply.(*past.ClientObsReportReply)
+	if !ok {
+		return id.Node{}, obs.Snapshot{}, fmt.Errorf("cluster: unexpected obs reply %T", reply)
+	}
+	return rep.Node, rep.Snapshot, nil
 }
 
 // Close terminates every live node gracefully (escalating to SIGKILL on

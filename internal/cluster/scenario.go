@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"past/internal/fleetobs"
 	"past/internal/id"
 	"past/internal/obs"
 )
@@ -117,6 +118,9 @@ type ScenarioConfig struct {
 	// verification: the fleet is churned but not judged (the CLI
 	// without -check). Fsck after every life still runs.
 	NoCheck bool
+	// SLOs are the objectives evaluated per round against the fleet's
+	// aggregated metric window (nil: fleetobs.DefaultScenarioSLOs).
+	SLOs []fleetobs.Objective
 	// Out receives narration (nil: the cluster's writer).
 	Out io.Writer
 }
@@ -142,6 +146,9 @@ func (s *ScenarioConfig) withDefaults(c *Cluster) {
 	}
 	if s.ConvergeTimeout <= 0 {
 		s.ConvergeTimeout = 45 * time.Second
+	}
+	if s.SLOs == nil {
+		s.SLOs = fleetobs.DefaultScenarioSLOs()
 	}
 	if s.Out == nil {
 		s.Out = c.cfg.Out
@@ -180,7 +187,11 @@ type ScenarioResult struct {
 	Checked         bool // the invariant audit ran (false: churn only)
 	Violations      int // invariant violations still standing after convergence
 	ViolationDetail []string
-	Elapsed         time.Duration
+	// SLO is the per-objective burn state over the run's round windows.
+	// On a passing run each line is deterministic under a fixed seed
+	// (breaches=0, burn=0.00), so it may appear in seed-stable reports.
+	SLO     []fleetobs.Burn
+	Elapsed time.Duration
 }
 
 // Passed reports the run's verdict.
@@ -216,6 +227,9 @@ func (r *ScenarioResult) String() string {
 	fmt.Fprintf(&b, "rounds run %d/%d, faults delivered %d/%d, restarts %d, inserts %d acked %d, elapsed %v\n",
 		r.RoundsRun, r.Rounds, r.Kills+r.Terms, r.PlannedKills+r.PlannedTerms,
 		r.Restarts, r.Inserted, r.Acked, r.Elapsed.Round(time.Millisecond))
+	for _, burn := range r.SLO {
+		fmt.Fprintf(&b, "%s\n", burn.Line())
+	}
 	for _, v := range r.ViolationDetail {
 		fmt.Fprintf(&b, "  violation: %s\n", v)
 	}
@@ -357,6 +371,42 @@ func RunScenario(c *Cluster, cfg ScenarioConfig) (*ScenarioResult, error) {
 		byRound[f.Round] = append(byRound[f.Round], f)
 	}
 
+	// The fleet observability plane: per round, scrape every live node's
+	// registry, delta it against the previous round (restart-aware — a
+	// crashed-and-rejoined node's reset registry must not produce
+	// negative rates), aggregate the deltas into the round's fleet
+	// window, fold in the scenario's own outcome counters, and evaluate
+	// the SLOs against the window. The window also rides the event
+	// stream as a "stats" event, leaving a queryable metrics timeline
+	// next to the fault/violation/tick events.
+	tracker := fleetobs.NewTracker()
+	eval := fleetobs.NewEvaluator(cfg.SLOs)
+	var prevAcked, prevLost, prevCorrupt, prevViolations int
+	scrapeRound := func(round int) {
+		var deltas []obs.Snapshot
+		scraped := 0
+		for _, i := range c.LiveIndexes() {
+			_, snap, err := c.ObsReport(i)
+			if err != nil {
+				continue
+			}
+			d, _ := tracker.Delta(fmt.Sprintf("node%02d", i), snap)
+			deltas = append(deltas, d)
+			scraped++
+		}
+		window := obs.Aggregate(deltas...)
+		violations := res.Violations + res.FsckErrors
+		window.Set("scenario_rounds_total", 1)
+		window.Set("scenario_acked_total", int64(res.Acked-prevAcked))
+		window.Set("scenario_acked_lost_total", int64(res.LostAcked-prevLost))
+		window.Set("scenario_acked_corrupt_total", int64(res.CorruptAcked-prevCorrupt))
+		window.Set("scenario_violations_total", int64(violations-prevViolations))
+		prevAcked, prevLost, prevCorrupt, prevViolations =
+			res.Acked, res.LostAcked, res.CorruptAcked, violations
+		eval.Observe(window)
+		c.event(obs.Event{Kind: "stats", Tick: round, N: int64(scraped), Counters: window.Counters})
+	}
+
 	for r := 0; r < cfg.Rounds; r++ {
 		if !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline) {
 			fmt.Fprintf(cfg.Out, "cluster: duration budget spent after %d round(s)\n", r)
@@ -399,8 +449,13 @@ func RunScenario(c *Cluster, cfg ScenarioConfig) (*ScenarioResult, error) {
 			}
 			verifyAcked(r)
 		}
+		scrapeRound(r)
 		res.RoundsRun++
 		c.event(obs.Event{Kind: "tick", Tick: r, N: int64(res.Acked), OK: res.LostAcked == 0 && res.Violations == 0})
+	}
+	res.SLO = eval.Burns()
+	for _, burn := range res.SLO {
+		fmt.Fprintf(cfg.Out, "cluster: %s\n", burn.Line())
 	}
 
 	c.event(obs.Event{Kind: "summary", Detail: res.Summary(), OK: res.Passed()})

@@ -84,6 +84,48 @@ func TestRunScenarioSmall(t *testing.T) {
 	if kinds["violation"] != 0 {
 		t.Fatalf("want 0 violation events, got %d", kinds["violation"])
 	}
+	// Every round scraped the fleet's registries and emitted its
+	// aggregated window as a stats event carrying the scenario counters
+	// the SLOs evaluate.
+	if kinds["stats"] != res.RoundsRun {
+		t.Fatalf("want %d stats events (one per round), got %d", res.RoundsRun, kinds["stats"])
+	}
+	for _, e := range evs {
+		if e.Kind != "stats" {
+			continue
+		}
+		if e.Counters == nil || e.Counters["scenario_rounds_total"] != 1 {
+			t.Fatalf("stats event lacks the round marker: %+v", e)
+		}
+		if e.Counters["scenario_acked_total"] <= 0 {
+			t.Fatalf("stats event saw no acked writes: %+v", e)
+		}
+	}
+
+	// The SLO layer evaluated one window per round, and a passing run
+	// renders the deterministic all-clear burn lines in the report (but
+	// never in the byte-pinned Summary).
+	if len(res.SLO) == 0 {
+		t.Fatal("result carries no SLO burns")
+	}
+	report := res.String()
+	for _, burn := range res.SLO {
+		if burn.Windows != res.RoundsRun {
+			t.Fatalf("slo %s evaluated %d windows, want %d", burn.Objective.Name, burn.Windows, res.RoundsRun)
+		}
+		if !burn.OK() {
+			t.Fatalf("passing scenario burned an SLO: %s", burn.Line())
+		}
+		if !strings.Contains(report, burn.Line()) {
+			t.Fatalf("report lacks burn line %q:\n%s", burn.Line(), report)
+		}
+		if !strings.Contains(burn.Line(), "breaches=0") {
+			t.Fatalf("passing run's burn line is not the stable all-clear: %s", burn.Line())
+		}
+	}
+	if strings.Contains(res.Summary(), "slo ") {
+		t.Fatal("SLO lines leaked into the byte-pinned Summary")
+	}
 
 	// Fault rounds restarted their victims: lives beyond the first.
 	restarts := 0

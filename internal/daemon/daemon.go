@@ -90,7 +90,10 @@ func Run(args []string) int {
 		hedge      = fs.Duration("hedge", 0, "hedged lookups: delay before a second attempt races the first through a different first hop (0: off; needs -retries)")
 		hopTimeout = fs.Duration("hop-timeout", 2*time.Second, "per-hop routing RPC timeout before trying an alternate (0: unbounded)")
 		partial    = fs.Bool("partial-insert", false, "accept inserts that stored at least one but fewer than k replicas; maintenance repairs the shortfall")
-		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /healthz, and /debug/pprof/ on this address (empty: off)")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /healthz, /traces, and /debug/pprof/ on this address (empty: off)")
+
+		traceEvery = fs.Int("trace-every", 0, "route tracing: sample every Nth client operation into the trace ring (0: off; explicit pastctl trace requests always record)")
+		traceKeep  = fs.Int("trace-keep", 64, "route tracing: ring capacity served at /traces")
 
 		admitRate   = fs.Float64("admit-rate", 0, "admission control: sustained request rate in req/s; excess load is shed with an overload error (0: off)")
 		admitBurst  = fs.Int("admit-burst", 8, "admission control: token-bucket burst")
@@ -142,6 +145,11 @@ func Run(args []string) int {
 	cfg.Pastry.L = *leafSet
 	cfg.Pastry.HopTimeout = *hopTimeout
 	cfg.PartialInsert = *partial
+	var tracer *obs.Tracer
+	if *traceEvery > 0 {
+		tracer = obs.NewTracer(*traceEvery, *traceKeep)
+		cfg.Tracer = tracer
+	}
 	if *retries > 0 {
 		cfg.Retry = &past.RetryPolicy{
 			MaxAttempts: *retries,
@@ -291,11 +299,11 @@ func Run(args []string) int {
 			return 1
 		}
 		go func() {
-			if err := http.Serve(ln, NewDebugMux(node, &ready)); err != nil {
+			if err := http.Serve(ln, NewDebugMux(node, tracer, &ready)); err != nil {
 				log.Printf("pastd: debug server: %v", err)
 			}
 		}()
-		log.Printf("pastd: debug endpoint on http://%s/ (metrics, healthz, pprof)", ln.Addr())
+		log.Printf("pastd: debug endpoint on http://%s/ (metrics, healthz, traces, pprof)", ln.Addr())
 	}
 
 	if *join == "" {
@@ -396,10 +404,12 @@ func joinWithRetry(tr *transport.TCP, node *past.Node, joinAddr string, retries 
 
 // NewDebugMux builds the debug endpoint: live node metrics in the
 // Prometheus text format at /metrics, a readiness probe at /healthz,
-// the standard pprof handlers under /debug/pprof/, and an index at /.
-// ready may be nil, in which case /healthz reports the overlay join
-// state alone.
-func NewDebugMux(node *past.Node, ready *atomic.Bool) *http.ServeMux {
+// the sampled route-trace ring at /traces, the standard pprof handlers
+// under /debug/pprof/, and an index at / — unknown paths get a real
+// 404, not a 200 echo of the index. ready may be nil, in which case
+// /healthz reports the overlay join state alone; tracer may be nil
+// (sampling off), in which case /traces reports that.
+func NewDebugMux(node *past.Node, tracer *obs.Tracer, ready *atomic.Bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	labels := map[string]string{"node": node.ID().Short()}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -415,13 +425,30 @@ func NewDebugMux(node *past.Node, ready *atomic.Bool) *http.ServeMux {
 		}
 		http.Error(w, "starting", http.StatusServiceUnavailable)
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if tracer == nil {
+			fmt.Fprintf(w, "trace sampling off (start with -trace-every N)\n")
+			return
+		}
+		traces := tracer.Traces()
+		fmt.Fprintf(w, "node %s: %d sampled of %d operations, keeping %d\n",
+			node.ID().Short(), tracer.Sampled(), tracer.Started(), len(traces))
+		for _, tr := range traces {
+			fmt.Fprintf(w, "%s\n", tr.Detailed())
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintf(w, "pastd %s\n/metrics\n/healthz\n/debug/pprof/\n", node.ID().Short())
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "pastd %s\n/metrics\n/healthz\n/traces\n/debug/pprof/\n", node.ID().Short())
 	})
 	return mux
 }

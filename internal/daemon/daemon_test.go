@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"past/internal/id"
+	"past/internal/obs"
 	"past/internal/past"
 	"past/internal/topology"
 	"past/internal/transport"
@@ -76,11 +77,13 @@ func TestDebugMux(t *testing.T) {
 	defer tr.Close()
 	cfg := past.DefaultConfig()
 	cfg.K = 1
+	tracer := obs.NewTracer(1, 8)
+	cfg.Tracer = tracer
 	node := past.New(nid, tr, cfg, 1<<20, 1)
 	tr.Serve(node)
 
 	var ready atomic.Bool
-	srv := httptest.NewServer(NewDebugMux(node, &ready))
+	srv := httptest.NewServer(NewDebugMux(node, tracer, &ready))
 	defer srv.Close()
 
 	// Before Bootstrap and before the ready flag: 503.
@@ -149,5 +152,39 @@ func TestDebugMux(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /debug/pprof/: status %d", resp.StatusCode)
+	}
+
+	// The sampled-trace ring answers (the insert above was sampled at
+	// -trace-every 1).
+	resp, err = http.Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(tb), "insert") {
+		t.Fatalf("GET /traces: status %d body %q", resp.StatusCode, tb)
+	}
+
+	// The index answers only at "/"; unknown paths are a real 404, not
+	// a 200 echo of the index (a scraper probing a wrong path must see
+	// the error).
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(ib), "/traces") {
+		t.Fatalf("GET /: status %d body %q", resp.StatusCode, ib)
+	}
+	resp, err = http.Get(srv.URL + "/no-such-endpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /no-such-endpoint: status %d, want 404", resp.StatusCode)
 	}
 }

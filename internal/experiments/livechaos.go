@@ -163,6 +163,13 @@ func RenderLiveChaos(r *LiveChaosResult) string {
 	for i := range r.NodeLives {
 		fmt.Fprintf(&b, "%4d  %5d  %8d\n", i, r.NodeLives[i], r.NodeRestarts[i])
 	}
+	// SLO burn lines are deterministic on passing runs (breaches=0,
+	// burn=0.00, windows = the planned round count), so they belong to
+	// the stable region: a compliance regression changes the comparison
+	// summary, exactly like a lost write would.
+	for _, burn := range s.SLO {
+		fmt.Fprintf(&b, "%s\n", burn.Line())
+	}
 	fmt.Fprintf(&b, "---\n")
 	fmt.Fprintf(&b, "rounds run %d/%d, faults delivered %d/%d, inserts %d acked %d, elapsed %v\n",
 		s.RoundsRun, s.Rounds, s.Kills+s.Terms, s.PlannedKills+s.PlannedTerms,

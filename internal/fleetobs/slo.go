@@ -1,0 +1,163 @@
+package fleetobs
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"past/internal/obs"
+)
+
+// Objective is one declarative service-level objective, evaluated
+// against per-window fleet-aggregated snapshots. Exactly one of the two
+// forms applies:
+//
+//   - latency: Threshold > 0 — the window's interpolated RPC latency
+//     quantile (Quantile, 0-100) must stay under Threshold. A window
+//     with no RPCs passes vacuously.
+//   - ratio: Bad (and optionally Total) name counters in the window.
+//     With Total set, the window breaches when bad > MaxRatio * total
+//     (vacuous pass when total is 0); without Total, any bad > 0
+//     breaches — a zero-tolerance count objective.
+//
+// Budget is the error budget: the tolerated fraction of breached
+// windows. The burn rate is (breached fraction)/Budget; Budget 0 means
+// zero tolerance — one breach burns infinitely.
+type Objective struct {
+	Name      string
+	Quantile  float64
+	Threshold time.Duration
+	Bad       string
+	Total     string
+	MaxRatio  float64
+	Budget    float64
+}
+
+// IsLatency reports the objective's form.
+func (o Objective) IsLatency() bool { return o.Threshold > 0 }
+
+// Breached evaluates the objective against one window.
+func (o Objective) Breached(w obs.Snapshot) bool {
+	if o.IsLatency() {
+		if w.TotalRPCs() == 0 {
+			return false
+		}
+		return w.RPCQuantile(o.Quantile) > o.Threshold
+	}
+	bad := w.Get(o.Bad)
+	if o.Total == "" {
+		return bad > 0
+	}
+	total := w.Get(o.Total)
+	if total <= 0 {
+		return false
+	}
+	return float64(bad) > o.MaxRatio*float64(total)
+}
+
+// describe renders the objective's condition.
+func (o Objective) describe() string {
+	switch {
+	case o.IsLatency():
+		return fmt.Sprintf("rpc p%g < %v", o.Quantile, o.Threshold)
+	case o.Total == "":
+		return fmt.Sprintf("%s == 0", o.Bad)
+	default:
+		return fmt.Sprintf("%s <= %.3g*%s", o.Bad, o.MaxRatio, o.Total)
+	}
+}
+
+// Burn is one objective's standing over a run: how many windows were
+// evaluated, how many breached, and the resulting budget burn.
+type Burn struct {
+	Objective Objective
+	Windows   int
+	Breaches  int
+}
+
+// Frac is the fraction of windows that breached.
+func (b Burn) Frac() float64 {
+	if b.Windows == 0 {
+		return 0
+	}
+	return float64(b.Breaches) / float64(b.Windows)
+}
+
+// Rate is the burn rate: breached fraction over error budget. A run
+// with no breaches burns 0 regardless of budget; breaches against a
+// zero budget burn infinitely.
+func (b Burn) Rate() float64 {
+	if b.Breaches == 0 {
+		return 0
+	}
+	if b.Objective.Budget <= 0 {
+		return math.Inf(1)
+	}
+	return b.Frac() / b.Objective.Budget
+}
+
+// OK reports whether the objective held (burn rate within budget).
+func (b Burn) OK() bool { return b.Rate() <= 1 }
+
+// Line renders the burn as one stable report line. Passing runs render
+// exactly "breaches=0 burn=0.00 OK", so seed-stable scenario summaries
+// stay byte-identical across runs.
+func (b Burn) Line() string {
+	status := "OK"
+	if !b.OK() {
+		status = "BREACH"
+	}
+	rate := "INF"
+	if r := b.Rate(); !math.IsInf(r, 1) {
+		rate = fmt.Sprintf("%.2f", r)
+	}
+	return fmt.Sprintf("slo %-22s %-28s windows=%-3d breaches=%-3d burn=%s %s",
+		b.Objective.Name, b.Objective.describe(), b.Windows, b.Breaches, rate, status)
+}
+
+// Evaluator accumulates burn state for a fixed objective set across a
+// stream of windows.
+type Evaluator struct {
+	burns []Burn
+}
+
+// NewEvaluator starts an evaluator over the given objectives.
+func NewEvaluator(objs []Objective) *Evaluator {
+	e := &Evaluator{burns: make([]Burn, len(objs))}
+	for i, o := range objs {
+		e.burns[i].Objective = o
+	}
+	return e
+}
+
+// Observe evaluates every objective against one window.
+func (e *Evaluator) Observe(w obs.Snapshot) {
+	for i := range e.burns {
+		b := &e.burns[i]
+		b.Windows++
+		if b.Objective.Breached(w) {
+			b.Breaches++
+		}
+	}
+}
+
+// Burns returns the accumulated burn state, in objective order.
+func (e *Evaluator) Burns() []Burn {
+	return append([]Burn(nil), e.burns...)
+}
+
+// DefaultScenarioSLOs are the objectives the cluster scenario driver
+// evaluates per chaos round when the caller supplies none: acked
+// durability is absolute (an acknowledged insert must never be lost or
+// served corrupt), invariants must hold, and the fleet's RPC p99 must
+// stay under 4s — comfortably above the daemons' 2s per-hop timeout, so
+// the objective only trips on pathological latency, not on routine
+// timeout-bounded reroutes.
+func DefaultScenarioSLOs() []Objective {
+	return []Objective{
+		{Name: "acked-loss", Bad: "scenario_acked_lost_total", Total: "scenario_acked_total", MaxRatio: 0, Budget: 0},
+		{Name: "acked-corruption", Bad: "scenario_acked_corrupt_total", Total: "scenario_acked_total", MaxRatio: 0, Budget: 0},
+		{Name: "invariant-violations", Bad: "scenario_violations_total", Budget: 0},
+		{Name: "rpc-latency-p99", Quantile: 99, Threshold: 4 * time.Second, Budget: 0.1},
+	}
+}

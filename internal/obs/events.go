@@ -10,9 +10,10 @@ import (
 
 // Event is one line of the structured JSONL event stream the chaos and
 // bench drivers emit: faults injected, invariant violations, per-tick
-// traffic summaries, and sampled route-trace summaries. Fields are
-// fixed (no free-form maps) so the encoding is deterministic and the
-// stream is greppable offline.
+// traffic summaries, sampled route-trace summaries, and per-round
+// fleet metric deltas. Fields are fixed, and the one map (Counters) is
+// rendered with sorted keys by encoding/json, so the encoding stays
+// deterministic and the stream greppable offline.
 type Event struct {
 	// Kind classifies the event: "fault", "violation", "tick", "trace",
 	// "phase", "experiment", "summary".
@@ -31,6 +32,11 @@ type Event struct {
 	Hops int `json:"hops,omitempty"`
 	// OK carries an operation outcome.
 	OK bool `json:"ok,omitempty"`
+	// Counters carries a named-counter payload for "stats" events —
+	// the fleet-aggregated registry delta of one scenario round — so
+	// scenario runs leave a queryable metrics timeline next to the
+	// fault/violation/tick events.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // EventLog is a concurrency-safe JSONL writer. A nil *EventLog accepts

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -214,7 +215,7 @@ func TestEventLogRoundTrip(t *testing.T) {
 		t.Fatalf("read %d events, want %d", len(out), len(in))
 	}
 	for i := range in {
-		if out[i] != in[i] {
+		if !reflect.DeepEqual(out[i], in[i]) {
 			t.Fatalf("event %d = %+v, want %+v", i, out[i], in[i])
 		}
 	}

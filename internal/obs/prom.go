@@ -7,46 +7,106 @@ import (
 	"strings"
 )
 
+// Labeled pairs a snapshot with its label set, for expositions that
+// carry several series of the same metrics (per-node plus a fleet
+// aggregate) in one response.
+type Labeled struct {
+	Labels map[string]string
+	Snap   Snapshot
+}
+
 // WriteProm renders a snapshot in the Prometheus text exposition
 // format (version 0.0.4), every metric prefixed "past_" and carrying
 // the given labels. Counters whose name ends in "_total" are typed
-// counter, the rest gauge; the RPC-latency buckets render as a
-// cumulative histogram past_rpc_latency_seconds. Output order is
-// deterministic (sorted names, sorted label keys).
+// counter, the rest gauge; the RPC-latency buckets render as a proper
+// cumulative histogram past_rpc_latency_seconds with _bucket/_sum/
+// _count series. Output order is deterministic (sorted names, sorted
+// label keys).
 func WriteProm(w io.Writer, snap Snapshot, labels map[string]string) error {
-	lab := renderLabels(labels)
-	for _, name := range snap.Names() {
+	return WritePromAll(w, []Labeled{{Labels: labels, Snap: snap}})
+}
+
+// WritePromAll renders several labeled snapshots of the same metric
+// family as one valid exposition: each `# TYPE` line appears exactly
+// once, followed by every series carrying that name — which is what a
+// naive concatenation of per-snapshot WriteProm outputs would violate.
+// The fleet aggregator's combined /metrics endpoint uses it to serve
+// per-node series and the fleet aggregate side by side, distinguished
+// only by labels.
+func WritePromAll(w io.Writer, snaps []Labeled) error {
+	// Union of counter names across all snapshots, sorted.
+	nameSet := make(map[string]struct{})
+	for _, ls := range snaps {
+		for name := range ls.Snap.Counters {
+			nameSet[name] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
 		typ := "gauge"
 		if strings.HasSuffix(name, "_total") {
 			typ = "counter"
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE past_%s %s\npast_%s%s %d\n",
-			name, typ, name, lab, snap.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE past_%s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, ls := range snaps {
+			v, ok := ls.Snap.Counters[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "past_%s%s %d\n", name, renderLabels(ls.Labels), v); err != nil {
+				return err
+			}
+		}
+	}
+
+	histTyped := false
+	for _, ls := range snaps {
+		if len(ls.Snap.RPCLat) == 0 {
+			continue
+		}
+		if !histTyped {
+			if _, err := fmt.Fprintf(w, "# TYPE past_rpc_latency_seconds histogram\n"); err != nil {
+				return err
+			}
+			histTyped = true
+		}
+		lab := renderLabels(ls.Labels)
+		var cum int64
+		for i, v := range ls.Snap.RPCLat {
+			cum += v
+			if _, err := fmt.Fprintf(w, "past_rpc_latency_seconds_bucket%s %d\n",
+				renderLabelsExtra(ls.Labels, "le", bucketLE(i)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "past_rpc_latency_seconds_sum%s %g\npast_rpc_latency_seconds_count%s %d\n",
+			lab, float64(ls.Snap.Get(CtrRPCTimeNanos))/1e9, lab, cum); err != nil {
 			return err
 		}
 	}
-	if len(snap.RPCLat) == 0 {
-		return nil
-	}
-	if _, err := fmt.Fprintf(w, "# TYPE past_rpc_latency_seconds histogram\n"); err != nil {
-		return err
-	}
-	var cum int64
-	for i, v := range snap.RPCLat {
-		cum += v
-		le := "+Inf"
-		if b := LatencyBucketBound(i); b >= 0 {
-			le = fmt.Sprintf("%g", b.Seconds())
-		}
-		if _, err := fmt.Fprintf(w, "past_rpc_latency_seconds_bucket%s %d\n",
-			renderLabelsExtra(labels, "le", le), cum); err != nil {
-			return err
-		}
-	}
-	_, err := fmt.Fprintf(w, "past_rpc_latency_seconds_sum%s %g\npast_rpc_latency_seconds_count%s %d\n",
-		lab, float64(snap.Get(CtrRPCTimeNanos))/1e9, lab, cum)
-	return err
+	return nil
 }
+
+// bucketLE renders bucket i's upper bound as its `le` label value.
+func bucketLE(i int) string {
+	if b := LatencyBucketBound(i); b >= 0 {
+		return fmt.Sprintf("%g", b.Seconds())
+	}
+	return "+Inf"
+}
+
+// labelEscaper escapes a label value per the exposition format: only
+// backslash, double quote, and newline are special. (Go's %q would
+// additionally escape non-ASCII and control bytes, producing values a
+// Prometheus parser reads back differently than they were written.)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
 // renderLabels formats {k="v",...} with sorted keys, or "" when empty.
 func renderLabels(labels map[string]string) string {
@@ -70,13 +130,13 @@ func renderLabelsExtra(labels map[string]string, extraK, extraV string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		fmt.Fprintf(&b, `%s="%s"`, k, labelEscaper.Replace(labels[k]))
 	}
 	if extraK != "" {
 		if len(keys) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+		fmt.Fprintf(&b, `%s="%s"`, extraK, labelEscaper.Replace(extraV))
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseProm parses one node's text exposition — the output of WriteProm
+// for a single snapshot, as served at a daemon's /metrics — back into a
+// Snapshot. It is the fleet scraper's HTTP fallback path when a node's
+// client RPC port is unreachable but its debug endpoint is not.
+//
+// Counter and gauge samples become Counters entries (labels ignored);
+// the past_rpc_latency_seconds_bucket series is de-accumulated back
+// into the RPCLat bucket counts by matching each sample's `le` value
+// against the bucket bounds WriteProm renders. Unknown metric families
+// and the derived _sum/_count samples are skipped. Multi-series
+// expositions (several label sets per name, as WritePromAll emits) are
+// not supported: last sample wins per name.
+func ParseProm(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{Counters: make(map[string]int64)}
+	le := leIndex()
+	buckets := make(map[int]int64)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, valueStr, err := splitSample(line)
+		if err != nil {
+			return snap, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		name, ok := strings.CutPrefix(name, "past_")
+		if !ok {
+			continue
+		}
+		switch name {
+		case "rpc_latency_seconds_sum", "rpc_latency_seconds_count":
+			continue // derived from the buckets and rpc_time_nanos_total
+		case "rpc_latency_seconds_bucket":
+			idx, ok := le[labelValue(labels, "le")]
+			if !ok {
+				continue // a bound this build doesn't know; skip the sample
+			}
+			v, err := strconv.ParseInt(valueStr, 10, 64)
+			if err != nil {
+				return snap, fmt.Errorf("obs: metrics line %d: bucket value %q", lineNo, valueStr)
+			}
+			buckets[idx] = v
+		default:
+			// Values are written as integers; parse through float so a
+			// foreign exposition with exponent notation still loads.
+			f, err := strconv.ParseFloat(valueStr, 64)
+			if err != nil {
+				return snap, fmt.Errorf("obs: metrics line %d: value %q", lineNo, valueStr)
+			}
+			snap.Counters[name] = int64(f)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return snap, fmt.Errorf("obs: metrics: %w", err)
+	}
+
+	if len(buckets) > 0 {
+		snap.RPCLat = make([]int64, LatencyBucketCount)
+		var prev int64
+		for i := 0; i < LatencyBucketCount; i++ {
+			cum, ok := buckets[i]
+			if !ok {
+				cum = prev
+			}
+			snap.RPCLat[i] = cum - prev
+			prev = cum
+		}
+	}
+	return snap, nil
+}
+
+// leIndex maps each rendered `le` label value back to its bucket index.
+func leIndex() map[string]int {
+	out := make(map[string]int, LatencyBucketCount)
+	for i := 0; i < LatencyBucketCount; i++ {
+		out[bucketLE(i)] = i
+	}
+	return out
+}
+
+// splitSample splits `name{labels} value` (labels optional) into parts.
+// The label block is returned raw; values never contain spaces.
+func splitSample(line string) (name, labels, value string, err error) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	value = line[sp+1:]
+	head := strings.TrimSpace(line[:sp])
+	if i := strings.IndexByte(head, '{'); i >= 0 {
+		if !strings.HasSuffix(head, "}") {
+			return "", "", "", fmt.Errorf("malformed labels in %q", line)
+		}
+		return head[:i], head[i+1 : len(head)-1], value, nil
+	}
+	return head, "", value, nil
+}
+
+// labelValue extracts one label's (unescaped) value from a raw label
+// block. Good enough for the labels WriteProm emits: values with
+// embedded commas or braces are not split correctly, but `le` and
+// `node` never carry them.
+func labelValue(labels, key string) string {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || k != key {
+			continue
+		}
+		v = strings.TrimPrefix(v, `"`)
+		v = strings.TrimSuffix(v, `"`)
+		return strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n").Replace(v)
+	}
+	return ""
+}

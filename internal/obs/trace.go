@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"past/internal/id"
 )
@@ -130,6 +131,25 @@ func (t *Trace) String() string {
 	fmt.Fprintf(&b, "#%d %s %s hops=%d ok=%v", t.Seq, t.Op, t.Key.Short(), t.RouteHops, t.OK)
 	for _, h := range t.Hops {
 		fmt.Fprintf(&b, "\n  %s", h)
+	}
+	return b.String()
+}
+
+// Detailed renders the trace like String, adding each hop's RPC
+// wall-clock latency when recorded — what `pastctl trace` prints for a
+// cross-process route. The records themselves are the same type the
+// netsim tracer collects, so both paths share one renderer.
+func (t *Trace) Detailed() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %s hops=%d ok=%v", t.Seq, t.Op, t.Key.Short(), t.RouteHops, t.OK)
+	if t.Err != "" {
+		fmt.Fprintf(&b, " err=%q", t.Err)
+	}
+	for _, h := range t.Hops {
+		fmt.Fprintf(&b, "\n  %s", h)
+		if h.RPCNanos > 0 {
+			fmt.Fprintf(&b, " rpc=%v", time.Duration(h.RPCNanos).Round(time.Microsecond))
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+)
+
+// DefaultTraceBudget is the hop budget a forced trace travels with: the
+// maximum number of hop records a single trace may accumulate before
+// collection stops (routing itself is never cut short). It is a ceiling
+// on trace payload growth, well above any healthy route length.
+const DefaultTraceBudget = 64
+
+// TraceContext is the compact per-request trace state that crosses
+// process boundaries: it rides the wire envelope (wire.Request) and the
+// routed message (pastry.RouteRequest), so hop records collected on
+// every pastd along a route can be stitched back together on the reply
+// path. The zero value means "no trace": nothing is collected and the
+// wire format is unchanged from untraced requests.
+type TraceContext struct {
+	// ID identifies the trace across processes. Drawn out-of-band
+	// (crypto/rand), never from a protocol RNG, so requesting a trace
+	// cannot perturb a seeded run.
+	ID uint64
+	// Sampled asks nodes on the route to collect hop records. With it
+	// off the context is carried but inert — the fingerprint-invariance
+	// contract: propagation compiled in, collection off, bit-identical
+	// behavior.
+	Sampled bool
+	// Budget caps the number of hop records the trace may accumulate
+	// (0: unlimited). Routing continues past the budget; only the
+	// recording stops.
+	Budget uint8
+}
+
+// Active reports whether this context asks for hop collection.
+func (tc TraceContext) Active() bool { return tc.Sampled && tc.ID != 0 }
+
+// HasRoom reports whether a trace holding n hop records may record
+// another under this context's budget.
+func (tc TraceContext) HasRoom(n int) bool {
+	return tc.Budget == 0 || n < int(tc.Budget)
+}
+
+// NewTraceID draws a random trace id from crypto/rand — out-of-band by
+// construction, so it cannot disturb seeded protocol RNGs.
+func NewTraceID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for anything that matters;
+		// for a trace id, a fixed nonzero fallback keeps the trace usable.
+		return 1
+	}
+	tid := binary.LittleEndian.Uint64(b[:])
+	if tid == 0 {
+		tid = 1
+	}
+	return tid
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace context to ctx; the transport stamps
+// it onto every outgoing wire envelope built under this context.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context attached by
+// ContextWithTrace, reporting whether one was present.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

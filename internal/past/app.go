@@ -6,6 +6,7 @@ import (
 
 	"past/internal/id"
 	"past/internal/netsim"
+	"past/internal/obs"
 	"past/internal/pastry"
 	"past/internal/store"
 )
@@ -96,6 +97,18 @@ func (n *Node) cacheFile(f id.File, size int64, content []byte) {
 // messages are handled here; everything else (routing, join, pings) is
 // delegated to the Pastry layer.
 func (n *Node) Deliver(from id.Node, msg any) (any, error) {
+	return n.deliver(obs.TraceContext{}, from, msg)
+}
+
+// DeliverTraced implements transport.TracedEndpoint: the transport
+// hands over the trace context it found on the wire envelope, which is
+// how a `pastctl trace` request starts hop collection at its access
+// point.
+func (n *Node) DeliverTraced(tc obs.TraceContext, from id.Node, msg any) (any, error) {
+	return n.deliver(tc, from, msg)
+}
+
+func (n *Node) deliver(tc obs.TraceContext, from id.Node, msg any) (any, error) {
 	n.st().MsgsIn.Add(1)
 	if s, ok := msg.(netsim.Sized); ok {
 		n.st().BytesIn.Add(int64(s.WireSize()))
@@ -136,12 +149,13 @@ func (n *Node) Deliver(from id.Node, msg any) (any, error) {
 				return nil, err
 			}
 		}
-		return n.handleClientRPC(msg)
-	case *ClientStatus, *ClientStats, *ClientReplicaReport:
+		return n.handleClientRPC(tc, msg)
+	case *ClientStatus, *ClientStats, *ClientReplicaReport, *ClientObsReport:
 		// Introspection stays ungated: an operator must be able to read
-		// load stats from an overloaded node, and the live-fleet checker
-		// must be able to audit one mid-fault.
-		return n.handleClientRPC(msg)
+		// load stats from an overloaded node, the live-fleet checker
+		// must be able to audit one mid-fault, and the fleet scraper
+		// must keep seeing an overloaded node's counters.
+		return n.handleClientRPC(tc, msg)
 	default:
 		// Routed client work arriving over the network (this node is a
 		// hop or the consumer for someone else's lookup/insert/reclaim)

@@ -1,9 +1,11 @@
 package past
 
 import (
+	"context"
 	"encoding/gob"
 
 	"past/internal/id"
+	"past/internal/obs"
 	"past/internal/pastry"
 	"past/internal/store"
 )
@@ -36,13 +38,30 @@ type ClientLookup struct {
 	File id.File
 }
 
-// ClientLookupReply carries the file back to the client.
+// ClientLookupReply carries the file back to the client. When the
+// request arrived under an active trace context, Trace carries the
+// stitched per-hop route records (spanning every process the route
+// crossed) and TraceID echoes the trace id they were collected under.
 type ClientLookupReply struct {
 	Found     bool
 	Size      int64
 	Content   []byte
 	FromCache bool
 	Hops      int
+	Trace     []obs.HopRecord
+	TraceID   uint64
+}
+
+// ClientObsReport asks the receiving node for its full observability
+// snapshot plus its identity, in one round trip. It is the fleet
+// scraper's primary collection path; the node's /metrics debug endpoint
+// is the fallback.
+type ClientObsReport struct{}
+
+// ClientObsReportReply carries the snapshot back.
+type ClientObsReportReply struct {
+	Node     id.Node
+	Snapshot obs.Snapshot
 }
 
 // ClientReplicaReport asks the receiving node what it holds LOCALLY
@@ -81,8 +100,10 @@ type ClientReclaimReply struct {
 }
 
 // handleClientRPC serves the client messages; it returns (nil, nil) for
-// non-client messages.
-func (n *Node) handleClientRPC(msg any) (any, error) {
+// non-client messages. A non-zero trace context (stamped on the wire
+// envelope by the client's transport) turns a ClientLookup into a
+// hop-recorded lookup whose reply carries the full cross-process route.
+func (n *Node) handleClientRPC(tc obs.TraceContext, msg any) (any, error) {
 	switch m := msg.(type) {
 	case *ClientInsert:
 		res, err := n.Insert(InsertSpec{Name: m.Name, Content: m.Content, K: m.K})
@@ -91,12 +112,22 @@ func (n *Node) handleClientRPC(msg any) (any, error) {
 		}
 		return &ClientInsertReply{OK: res.OK, FileID: res.FileID, Attempts: res.Attempts, Reason: res.Reason}, nil
 	case *ClientLookup:
-		res, err := n.Lookup(m.File)
+		var res *LookupResult
+		var err error
+		if tc.Active() {
+			res, err = n.LookupTraced(context.Background(), m.File, tc)
+		} else {
+			res, err = n.Lookup(m.File)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return &ClientLookupReply{Found: res.Found, Size: res.Size, Content: res.Content,
-			FromCache: res.FromCache, Hops: res.Hops}, nil
+		reply := &ClientLookupReply{Found: res.Found, Size: res.Size, Content: res.Content,
+			FromCache: res.FromCache, Hops: res.Hops}
+		if tc.Active() {
+			reply.Trace, reply.TraceID = res.Trace, tc.ID
+		}
+		return reply, nil
 	case *ClientReclaim:
 		res, err := n.Reclaim(m.File, nil)
 		if err != nil {
@@ -123,6 +154,8 @@ func (n *Node) handleClientRPC(msg any) (any, error) {
 		return &ClientStatusReply{Status: n.Status()}, nil
 	case *ClientStats:
 		return &ClientStatsReply{Stats: n.StatsSnapshot()}, nil
+	case *ClientObsReport:
+		return &ClientObsReportReply{Node: n.ID(), Snapshot: n.StatsSnapshot()}, nil
 	}
 	return nil, nil
 }
@@ -171,4 +204,6 @@ func RegisterWire() {
 	gob.Register(&ClientStatusReply{})
 	gob.Register(&ClientStats{})
 	gob.Register(&ClientStatsReply{})
+	gob.Register(&ClientObsReport{})
+	gob.Register(&ClientObsReportReply{})
 }

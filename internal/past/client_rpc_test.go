@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"past/internal/id"
+	"past/internal/obs"
 )
 
 // TestClientReplicaReport: the batch local-state RPC must answer
@@ -39,7 +40,7 @@ func TestClientReplicaReport(t *testing.T) {
 	files = append(files, absent)
 
 	for _, n := range c.Nodes {
-		reply, err := n.handleClientRPC(&ClientReplicaReport{Files: files})
+		reply, err := n.handleClientRPC(obs.TraceContext{}, &ClientReplicaReport{Files: files})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -59,7 +59,24 @@ func (n *Node) LookupContext(ctx context.Context, f id.File) (*LookupResult, err
 	if n.cache.NegativeHit(f) {
 		return &LookupResult{Found: false, Negative: true}, nil
 	}
-	traced := n.cfg.Tracer.ShouldSample()
+	return n.lookupTraced(ctx, f, n.cfg.Tracer.ShouldSample())
+}
+
+// LookupTraced is LookupContext under an explicit trace context: the
+// route is always hop-recorded (regardless of the sampling tracer), the
+// trace context propagates across process boundaries so remote relays
+// keep recording under the same trace id, and the negative cache is
+// bypassed — a trace that never left the access point would show no
+// route. `pastctl trace` reaches this through the ClientLookup RPC.
+func (n *Node) LookupTraced(ctx context.Context, f id.File, tc obs.TraceContext) (*LookupResult, error) {
+	n.st().Lookups.Add(1)
+	ctx = obs.ContextWithTrace(ctx, tc)
+	return n.lookupTraced(ctx, f, true)
+}
+
+// lookupTraced runs the routed lookup under the resilience layer (when
+// configured), optionally hop-recording the route.
+func (n *Node) lookupTraced(ctx context.Context, f id.File, traced bool) (*LookupResult, error) {
 	pol, hasPol := n.policy()
 	attempt := func(actx context.Context) (any, error) {
 		if !hasPol {

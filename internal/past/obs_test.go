@@ -138,7 +138,7 @@ func TestStatsRegistryAndSnapshot(t *testing.T) {
 	}
 
 	// The ClientStats RPC handler serves the same snapshot shape.
-	reply, err := client.handleClientRPC(&ClientStats{})
+	reply, err := client.handleClientRPC(obs.TraceContext{}, &ClientStats{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,13 @@ type RouteRequest struct {
 	Traced bool
 	Trace  []obs.HopRecord
 
+	// TC is the end-to-end trace context the route runs under (zero:
+	// none). It rides the request across process boundaries so every
+	// relay keeps recording into Trace under the same trace id, and its
+	// Budget caps how many hop records accumulate — the budget bounds
+	// recording only, never the route itself.
+	TC obs.TraceContext
+
 	// JoinCollect asks every hop to contribute routing-table candidates
 	// for a joining node; used only by the join protocol.
 	JoinCollect bool

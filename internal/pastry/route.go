@@ -60,6 +60,9 @@ func (n *Node) RouteTraced(key id.Node, payload any) (reply any, hops int, path 
 // out-of-band: it draws no randomness and alters no routing decision.
 func (n *Node) RouteTracedContext(ctx context.Context, key id.Node, payload any) (reply any, hops int, trace []obs.HopRecord, err error) {
 	req := &RouteRequest{Key: key, Payload: payload, Traced: true}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.TC = tc
+	}
 	rr, err := n.routeStep(ctx, req)
 	if err != nil {
 		return nil, 0, req.Trace, err
@@ -100,6 +103,11 @@ func (n *Node) routeAvoiding(ctx context.Context, key id.Node, payload any, trac
 		}
 	}
 	req := &RouteRequest{Key: key, Payload: payload, Traced: traced}
+	if traced {
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			req.TC = tc
+		}
+	}
 	for {
 		if err := netsim.CtxErr(ctx); err != nil {
 			return nil, 0, req.Trace, err
@@ -117,14 +125,15 @@ func (n *Node) routeAvoiding(ctx context.Context, key id.Node, payload any, trac
 		req.Hops = 1
 		var mark int
 		var hopStart time.Time
-		if traced {
+		recorded := traced && req.TC.HasRoom(len(req.Trace))
+		if recorded {
 			mark = len(req.Trace)
 			req.Trace = append(req.Trace, n.hopRecord(key, next, choice))
 			hopStart = time.Now()
 		}
 		res, err := n.invokeHop(ctx, next, req)
 		if err != nil && netsim.Retryable(err) && netsim.CtxErr(ctx) == nil && !n.cfg.FailFast {
-			if traced {
+			if recorded {
 				req.Trace = req.Trace[:mark+1]
 				req.Trace[mark].Failed = true
 				req.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
@@ -140,7 +149,7 @@ func (n *Node) routeAvoiding(ctx context.Context, key id.Node, payload any, trac
 		if !ok {
 			return nil, 0, req.Trace, fmt.Errorf("pastry: unexpected route reply %T from %s", res, next.Short())
 		}
-		if traced && mark < len(rr.Trace) {
+		if recorded && mark < len(rr.Trace) {
 			rr.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
 		}
 		n.noteLoadHint(next, rr.Load)
@@ -150,8 +159,15 @@ func (n *Node) routeAvoiding(ctx context.Context, key id.Node, payload any, trac
 }
 
 // invokeHop sends one routed message to the next hop, applying the
-// per-hop timeout (if configured) on top of the request context.
+// per-hop timeout (if configured) on top of the request context. An
+// active trace context is restamped onto the context so the transport
+// carries it on the wire envelope too — relays run routed messages
+// under a fresh context, and the envelope is how the receiving process
+// knows the RPC belongs to a trace before decoding the payload.
 func (n *Node) invokeHop(ctx context.Context, next id.Node, req *RouteRequest) (any, error) {
+	if req.TC.Active() {
+		ctx = obs.ContextWithTrace(ctx, req.TC)
+	}
 	if n.cfg.HopTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, n.cfg.HopTimeout)
@@ -230,7 +246,7 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 			return nil, err
 		}
 		if handled {
-			if req.Traced {
+			if req.Traced && req.TC.HasRoom(len(req.Trace)) {
 				req.Trace = append(req.Trace, n.localRecord(req.Key))
 			}
 			return &RouteReply{Payload: reply, Hops: req.Hops, Path: req.Path, Trace: req.Trace}, nil
@@ -243,7 +259,7 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 		if next.IsZero() {
 			// This node is the numerically closest live node it knows of:
 			// consume the message.
-			if req.Traced {
+			if req.Traced && req.TC.HasRoom(len(req.Trace)) {
 				req.Trace = append(req.Trace, n.localRecord(req.Key))
 			}
 			if isJoin {
@@ -268,7 +284,10 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 		req.Hops++
 		var mark int
 		var hopStart time.Time
-		if req.Traced {
+		// The trace budget caps recording, not routing: a route past the
+		// budget keeps going, it just stops accumulating hop records.
+		recorded := req.Traced && req.TC.HasRoom(len(req.Trace))
+		if recorded {
 			mark = len(req.Trace)
 			req.Trace = append(req.Trace, n.hopRecord(req.Key, next, choice))
 			hopStart = time.Now()
@@ -283,7 +302,7 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 			// from routing state, repair the slot, and retry with the
 			// next best candidate. The failed attempt stays in the trace;
 			// anything recorded beyond it belonged to the dead subtree.
-			if req.Traced {
+			if recorded {
 				req.Trace = req.Trace[:mark+1]
 				req.Trace[mark].Failed = true
 				req.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()
@@ -303,7 +322,7 @@ func (n *Node) routeStep(ctx context.Context, req *RouteRequest) (*RouteReply, e
 		if !ok {
 			return nil, fmt.Errorf("pastry: unexpected route reply %T from %s", res, next.Short())
 		}
-		if req.Traced && mark < len(rr.Trace) {
+		if recorded && mark < len(rr.Trace) {
 			// Fill in this hop's RPC latency on the reply's copy of the
 			// trace as it propagates back toward the origin.
 			rr.Trace[mark].RPCNanos = time.Since(hopStart).Nanoseconds()

@@ -22,9 +22,31 @@ import (
 
 	"past/internal/id"
 	"past/internal/netsim"
+	"past/internal/obs"
 	"past/internal/topology"
 	"past/internal/wire"
 )
+
+// TracedEndpoint is implemented by endpoints that accept the wire
+// envelope's trace context alongside a delivery (past.Node does). The
+// transport hands incoming requests carrying an active trace context to
+// DeliverTraced; plain endpoints keep receiving Deliver, so trace
+// propagation is strictly opt-in per endpoint.
+type TracedEndpoint interface {
+	netsim.Endpoint
+	DeliverTraced(tc obs.TraceContext, from id.Node, msg any) (any, error)
+}
+
+// deliver hands one request to the endpoint, routing through the traced
+// entry point when the envelope carries an active trace context.
+func deliver(ep netsim.Endpoint, req *wire.Request) (any, error) {
+	if req.TC.Active() {
+		if te, ok := ep.(TracedEndpoint); ok {
+			return te.DeliverTraced(req.TC, req.Src, req.Msg)
+		}
+	}
+	return ep.Deliver(req.Src, req.Msg)
+}
 
 // DefaultDialTimeout bounds connection establishment unless the
 // instance overrides it with SetDialTimeout; a node that cannot be
@@ -195,7 +217,7 @@ func (t *TCP) dispatch(req *wire.Request) *wire.Response {
 	if ep == nil {
 		return &wire.Response{Err: "transport: no endpoint installed"}
 	}
-	reply, err := ep.Deliver(req.Src, req.Msg)
+	reply, err := deliver(ep, req)
 	if err != nil {
 		return &wire.Response{Err: err.Error()}
 	}
@@ -247,6 +269,10 @@ func (t *TCP) Invoke(ctx context.Context, src, dst id.Node, msg any) (any, error
 	if !ok {
 		return nil, netsim.ErrUnknownNode
 	}
+	req := &wire.Request{Src: src, Msg: msg}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.TC = tc
+	}
 	if dst == t.self {
 		// Loopback shortcut mirrors the emulation's direct call.
 		t.mu.Lock()
@@ -255,9 +281,9 @@ func (t *TCP) Invoke(ctx context.Context, src, dst id.Node, msg any) (any, error
 		if ep == nil {
 			return nil, errors.New("transport: no endpoint installed")
 		}
-		return ep.Deliver(src, msg)
+		return deliver(ep, req)
 	}
-	resp, err := t.call(ctx, dst, e.Addr, &wire.Request{Src: src, Msg: msg})
+	resp, err := t.call(ctx, dst, e.Addr, req)
 	if err != nil {
 		if ctxErr := netsim.CtxErr(ctx); ctxErr != nil {
 			return nil, ctxErr
@@ -305,21 +331,32 @@ func rehydrateErr(s string) error {
 // Remote errors are rehydrated onto the sentinel taxonomy, so callers
 // can classify ErrOverloaded and friends across restarts too.
 func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
+	return t.InvokeAddrContext(context.Background(), addr, msg)
+}
+
+// InvokeAddrContext is InvokeAddr bounded by a context: the deadline
+// covers the exchange, and a trace context attached with
+// obs.ContextWithTrace is stamped onto the wire envelope — which is how
+// `pastctl trace` asks a live access point for a hop-recorded lookup.
+func (t *TCP) InvokeAddrContext(ctx context.Context, addr string, msg any) (any, error) {
 	req := &wire.Request{Src: t.self, Msg: msg}
-	c, pooled, err := t.getAddrConn(addr)
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		req.TC = tc
+	}
+	c, pooled, err := t.getAddrConn(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := roundTrip(context.Background(), c, req)
+	resp, err := roundTrip(ctx, c, req)
 	if err != nil {
 		c.c.Close()
 		if !pooled {
 			return nil, err
 		}
-		if c, err = t.dial(context.Background(), addr); err != nil {
+		if c, err = t.dial(ctx, addr); err != nil {
 			return nil, err
 		}
-		if resp, err = roundTrip(context.Background(), c, req); err != nil {
+		if resp, err = roundTrip(ctx, c, req); err != nil {
 			c.c.Close()
 			return nil, err
 		}
@@ -333,7 +370,7 @@ func (t *TCP) InvokeAddr(addr string, msg any) (any, error) {
 
 // getAddrConn returns an idle pooled connection to addr if one exists
 // (pooled = true), else a fresh dial.
-func (t *TCP) getAddrConn(addr string) (*conn, bool, error) {
+func (t *TCP) getAddrConn(ctx context.Context, addr string) (*conn, bool, error) {
 	t.mu.Lock()
 	if cs := t.idleAddr[addr]; len(cs) > 0 {
 		c := cs[len(cs)-1]
@@ -342,7 +379,7 @@ func (t *TCP) getAddrConn(addr string) (*conn, bool, error) {
 		return c, true, nil
 	}
 	t.mu.Unlock()
-	c, err := t.dial(context.Background(), addr)
+	c, err := t.dial(ctx, addr)
 	return c, false, err
 }
 

@@ -10,12 +10,18 @@ import (
 	"io"
 
 	"past/internal/id"
+	"past/internal/obs"
 )
 
 // Request is one RPC from Src carrying an opaque protocol message.
 type Request struct {
 	Src id.Node
 	Msg any
+	// TC is the request's trace context (zero: untraced). The transport
+	// stamps it from the caller's context; the receiving side hands it
+	// to endpoints that implement transport.TracedEndpoint, which is how
+	// a `pastctl trace` request starts hop collection on a remote node.
+	TC obs.TraceContext
 }
 
 // Response answers a Request. A non-empty Err means the remote handler
