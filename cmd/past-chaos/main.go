@@ -15,6 +15,7 @@
 //	past-chaos -trace 4 -events-out run.jsonl   # trace every 4th op, stream JSONL events
 //	past-chaos -admit-rate 5 -events-out run.jsonl   # soak behind admission control; sheds stream as "overload" events
 //	past-chaos -check-events run.jsonl  # validate and summarize an event stream
+//	past-chaos -ec-durability           # erasure-coding repair-vs-durability sweep, coded vs replicated
 //	past-chaos -crash                   # storage crash soak: kill a logstore mid-commit, recover, verify
 //	past-chaos -crash -crash-lives 10 -crash-ops 500 -crash-dir /tmp/ls -keep
 //
@@ -63,6 +64,8 @@ func main() {
 		admitDepth  = flag.Int("admit-depth", 8, "admission control: bounded queue depth before shedding")
 		admitPolicy = flag.String("admit-policy", "droptail", "admission control: shed policy — droptail, dropfront, or lifo")
 
+		ecDur = flag.Bool("ec-durability", false, "run the erasure-coding repair-vs-durability sweep instead of the network soak")
+
 		crash      = flag.Bool("crash", false, "run the storage crash soak instead of the network soak")
 		crashLives = flag.Int("crash-lives", 5, "crash soak: kill/recover cycles")
 		crashOps   = flag.Int("crash-ops", 200, "crash soak: mutations per life")
@@ -70,6 +73,15 @@ func main() {
 		keep       = flag.Bool("keep", false, "crash soak: keep the store directory for inspection (e.g. past-state fsck)")
 	)
 	flag.Parse()
+
+	if *ecDur {
+		code, err := runECDurability(os.Stdout, *seed, *verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "past-chaos:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 
 	if *crash {
 		code, err := runCrashSoak(os.Stdout, *seed, *crashLives, *crashOps, *crashDir, *keep)
@@ -139,6 +151,35 @@ func main() {
 		os.Exit(2)
 	}
 	os.Exit(code)
+}
+
+// runECDurability runs the repair-rate-vs-durability sweep (section
+// 3.6's trade-off: coded fragments plus lazy bandwidth-capped repair
+// against k-way replication at equal storage overhead) and asserts its
+// acceptance properties.
+func runECDurability(w *os.File, seed int64, verify bool) (int, error) {
+	r, err := experiments.RunECDurability(experiments.ECDurabilityConfig{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprint(w, experiments.RenderECDurability(r))
+	if verify {
+		r2, err := experiments.RunECDurability(experiments.ECDurabilityConfig{Seed: seed})
+		if err != nil {
+			return 0, fmt.Errorf("verify rerun: %w", err)
+		}
+		if r2.Fingerprint != r.Fingerprint {
+			fmt.Fprintf(w, "VERIFY: FAIL — fingerprints differ\n  %s\n  %s\n", r.Fingerprint, r2.Fingerprint)
+			return 1, nil
+		}
+		fmt.Fprintf(w, "VERIFY: ok — rerun reproduced fingerprint %s\n", r2.Fingerprint)
+	}
+	if err := experiments.CheckECDurability(r); err != nil {
+		fmt.Fprintf(w, "CHECK: FAIL — %v\n", err)
+		return 1, nil
+	}
+	fmt.Fprintln(w, "CHECK: ok")
+	return 0, nil
 }
 
 // checkEvents validates a JSONL event stream file and prints a per-kind

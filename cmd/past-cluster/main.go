@@ -16,6 +16,7 @@
 //	past-cluster -nodes 10 -seed 1 -kill-rate 0.1 -check   # the acceptance run: audit everything
 //	past-cluster -scenario rolling -rounds 10 -check       # staggered rolling restart
 //	past-cluster -scenario kill -kill-rate 0.2 -check      # crash-recovery heavy
+//	past-cluster -ec 3,2 -scenario kill -check             # erasure-coded fleet, lazy fragment repair
 //	past-cluster -nodes 5 -rounds 2 -check -events-out run.jsonl
 //	past-cluster -duration 45s -check              # stop scheduling new rounds after 45s
 //	past-cluster -data /tmp/fleet -keep -v         # keep per-node logs and stores
@@ -53,6 +54,8 @@ func run() int {
 		killRate = flag.Float64("kill-rate", 0.1, "fraction of the fleet disturbed per round (min one node)")
 		duration = flag.Duration("duration", 0, "wall-clock budget; rounds not started by then are skipped (0: run the full plan)")
 		check    = flag.Bool("check", false, "audit live replica invariants and verify every acked write after each round")
+		ecMode   = flag.String("ec", "", "erasure-coded storage mode \"m,n\" (e.g. 3,2); empty: k-way replication")
+		ecBudget = flag.String("ec-repair-budget", "", "per-daemon repair bandwidth cap per maintenance pass (e.g. 256KB); empty: uncapped")
 		files    = flag.Int("files-per-round", 6, "inserts per round")
 		events   = flag.String("events-out", "", "stream JSONL events (faults, violations, ticks, summary) to this file")
 		pastd    = flag.String("pastd", "", "supervise this pastd binary instead of self-executing")
@@ -63,17 +66,19 @@ func run() int {
 	flag.Parse()
 
 	cfg := experiments.LiveChaosConfig{
-		Nodes:         *nodes,
-		K:             *k,
-		Seed:          *seed,
-		Scenario:      *scenario,
-		Rounds:        *rounds,
-		KillRate:      *killRate,
-		FilesPerRound: *files,
-		Duration:      *duration,
-		Check:         *check,
-		Dir:           *dataDir,
-		Keep:          *keep,
+		Nodes:          *nodes,
+		K:              *k,
+		Seed:           *seed,
+		Scenario:       *scenario,
+		Rounds:         *rounds,
+		KillRate:       *killRate,
+		FilesPerRound:  *files,
+		Duration:       *duration,
+		Check:          *check,
+		EC:             *ecMode,
+		ECRepairBudget: *ecBudget,
+		Dir:            *dataDir,
+		Keep:           *keep,
 	}
 	if *pastd != "" {
 		cfg.Command = cluster.Command{Path: *pastd}

@@ -16,6 +16,7 @@
 //	past-load -sim -verify                # run twice, require identical fingerprints
 //	past-load -sim -cache-sweep           # cache-tier sweep: legacy vs sharded engine vs engine+flash
 //	past-load -sim -cache-check           # exit 0 only if the flash tier beats capped RAM alone
+//	past-load -sim -ec 4,2                # erasure-coded mode: coded inserts, m-of-n reconstructing lookups
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"past/internal/admit"
+	"past/internal/ec"
 	"past/internal/experiments"
 	"past/internal/id"
 	"past/internal/loadgen"
@@ -51,6 +53,8 @@ func main() {
 		slo      = flag.Duration("slo", 500*time.Millisecond, "latency SLO classifying a completion as good")
 		seed     = flag.Int64("seed", 1, "schedule and cluster seed")
 		conc     = flag.Int("conc", 16, "TCP mode: in-flight request cap (queueing counts against latency); 0 = unbounded")
+
+		ecMode = flag.String("ec", "", "sim: erasure-coded storage mode \"m,n\" (e.g. 4,2) — inserts are coded into fragments, lookups reconstruct from any m")
 
 		nodes    = flag.Int("nodes", 25, "sim: cluster size")
 		nodeRate = flag.Float64("node-rate", 100, "sim: per-node service rate in req/s (capacity = nodes * node-rate)")
@@ -143,6 +147,13 @@ func main() {
 			HopLatency: *hopLat,
 			SLO:        *slo,
 		}
+		if *ecMode != "" {
+			p, err := ec.ParseParams(*ecMode)
+			if err != nil {
+				log.Fatalf("past-load: %v", err)
+			}
+			sc.EC = &p
+		}
 		res, err := loadgen.RunSim(sc)
 		if err != nil {
 			log.Fatalf("past-load: %v", err)
@@ -198,6 +209,10 @@ func report(res *loadgen.Result, slo time.Duration) {
 		res.P(50).Round(time.Microsecond),
 		res.P(99).Round(time.Microsecond),
 		res.P(99.9).Round(time.Microsecond))
+	if c := res.Cache; c.FragHits > 0 || c.Reconstructs > 0 {
+		fmt.Printf("ec: %d reconstructions from %d fragment-level hits (%d corrupt copies dropped)\n",
+			c.Reconstructs, c.FragHits, c.FragCRCDrops)
+	}
 	if res.Fingerprint != "" {
 		fmt.Printf("fingerprint: %s\n", res.Fingerprint)
 	}

@@ -53,7 +53,44 @@ const (
 	// replica nobody references — storage the maintenance protocol
 	// should have migrated or discarded.
 	ViolationStray ViolationKind = "stray-replica"
+	// ViolationFragmentsLost: an erasure-coded RS(m, n) object has fewer
+	// than m distinct fragment indices on live nodes — it cannot be
+	// reconstructed, whatever the fragment map says. The EC analogue of
+	// ViolationLost.
+	ViolationFragmentsLost ViolationKind = "fragments-lost"
+	// ViolationFragmentMissing: a fragment index has no live holder
+	// after repair has had a chance to run. The object is still
+	// reconstructible; the lazy repair queue owes it a fragment. The EC
+	// analogue of ViolationUnderReplicated.
+	ViolationFragmentMissing ViolationKind = "fragment-missing"
 )
+
+// FragmentState is the optional erasure-coding extension of
+// ClusterState: a cluster that supports EC mode exposes coding
+// parameters and live fragment placement, and the checker adds the
+// fragment-loss invariant (object reconstructible iff >= m fragments
+// live) to both the durability and the convergence passes. Clusters
+// without EC simply don't implement it.
+type FragmentState interface {
+	// ECFile reports a file's coding parameters (data shards m, total
+	// shards m+n) if it was stored erasure-coded. Implementations may
+	// consult dead nodes for the (static) parameters.
+	ECFile(f id.File) (data, total int, ok bool)
+	// FragmentHolders returns the LIVE nodes holding each fragment
+	// index of f.
+	FragmentHolders(f id.File) map[int][]id.Node
+}
+
+// ecShape resolves a file's coding parameters if the state supports
+// fragments and the file is erasure-coded.
+func ecShape(s ClusterState, f id.File) (FragmentState, int, int, bool) {
+	fs, ok := s.(FragmentState)
+	if !ok {
+		return nil, 0, 0, false
+	}
+	data, total, ok := fs.ECFile(f)
+	return fs, data, total, ok
+}
 
 // Violation is one structured invariant failure: which file, where, and
 // the expected-vs-actual replica accounting at that epoch.
@@ -100,6 +137,17 @@ func (ck *Checker) CheckDurability(s ClusterState, files []id.File, epoch int) [
 			out = ck.emit(out, Violation{
 				Epoch: epoch, Kind: ViolationLost, File: f, Expected: 1, Actual: 0,
 			})
+		}
+		// Erasure-coded object: losing the map is covered above (map
+		// replicas are replicas); the content itself survives iff at
+		// least m distinct fragment indices are on live nodes.
+		if fs, data, _, isEC := ecShape(s, f); isEC {
+			if live := len(fs.FragmentHolders(f)); live < data {
+				out = ck.emit(out, Violation{
+					Epoch: epoch, Kind: ViolationFragmentsLost, File: f,
+					Expected: data, Actual: live,
+				})
+			}
 		}
 	}
 	return out
@@ -153,6 +201,28 @@ func (ck *Checker) CheckConverged(s ClusterState, files []id.File, epoch int) []
 					Epoch: epoch, Kind: ViolationStray, File: f, Node: h,
 					Expected: 0, Actual: 1,
 				})
+			}
+		}
+		// Erasure-coded object, post-repair: every fragment index must
+		// be back on some live node (placement spread across distinct
+		// nodes is a preference, not an invariant).
+		if fs, data, total, isEC := ecShape(s, f); isEC {
+			byIdx := fs.FragmentHolders(f)
+			if len(byIdx) < data {
+				out = ck.emit(out, Violation{
+					Epoch: epoch, Kind: ViolationFragmentsLost, File: f,
+					Expected: data, Actual: len(byIdx),
+				})
+				continue
+			}
+			for idx := 0; idx < total; idx++ {
+				if len(byIdx[idx]) == 0 {
+					out = ck.emit(out, Violation{
+						Epoch: epoch, Kind: ViolationFragmentMissing, File: f,
+						Expected: total, Actual: len(byIdx),
+					})
+					break
+				}
 			}
 		}
 	}

@@ -146,6 +146,42 @@ func (s *LiveState) PrimaryHolders(f id.File) []id.Node {
 	return out
 }
 
+var _ chaos.FragmentState = (*LiveState)(nil)
+
+// ECFile implements chaos.FragmentState: the coding parameters a live
+// map holder reported for f. (Unlike the emulator's omniscient state, a
+// live snapshot cannot interrogate dead processes; if every map holder
+// is down the durability pass already reports the file lost.)
+func (s *LiveState) ECFile(f id.File) (data, total int, ok bool) {
+	for _, nid := range s.ids {
+		if !s.alive[nid] {
+			continue
+		}
+		if h, ok := s.hold(nid, f); ok && h.ECTotal > 0 {
+			return h.ECData, h.ECTotal, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FragmentHolders implements chaos.FragmentState: live nodes holding
+// each fragment index of f, as self-reported over the replica-report
+// RPC.
+func (s *LiveState) FragmentHolders(f id.File) map[int][]id.Node {
+	out := make(map[int][]id.Node)
+	for _, nid := range s.ids {
+		if !s.alive[nid] {
+			continue
+		}
+		if h, ok := s.hold(nid, f); ok {
+			for _, idx := range h.Frags {
+				out[idx] = append(out[idx], nid)
+			}
+		}
+	}
+	return out
+}
+
 // CheckInvariants snapshots the fleet and runs the emulator's
 // post-repair invariant check over it (replica counts, pointer
 // validity, strays). epoch labels the violations.

@@ -50,6 +50,13 @@ type Config struct {
 	ReadyTimeout time.Duration
 	// ExitTimeout bounds graceful-leave waits (default 20s).
 	ExitTimeout time.Duration
+	// EC, when non-empty ("m,n"), runs the fleet in erasure-coded
+	// storage mode: every daemon gets -ec, inserts fragment over the
+	// leaf set, and lost fragments are re-created by lazy repair.
+	EC string
+	// ECRepairBudget caps each daemon's per-maintenance-pass repair
+	// bytes (passed as -ec-repair-budget; empty: uncapped).
+	ECRepairBudget string
 	// ExtraArgs are appended to every daemon's argv.
 	ExtraArgs []string
 	// Out receives orchestrator narration (nil: discarded).
@@ -194,6 +201,12 @@ func (c *Cluster) daemonArgs(p *Proc, joinAddr string) []string {
 		"-retries", "3",
 		"-x", strconv.FormatFloat(float64(10+20*(p.Index%8)), 'f', -1, 64),
 		"-y", strconv.FormatFloat(float64(10+20*(p.Index/8)), 'f', -1, 64),
+	}
+	if c.cfg.EC != "" {
+		args = append(args, "-ec", c.cfg.EC)
+		if c.cfg.ECRepairBudget != "" {
+			args = append(args, "-ec-repair-budget", c.cfg.ECRepairBudget)
+		}
 	}
 	if joinAddr != "" {
 		args = append(args,

@@ -185,7 +185,7 @@ type ScenarioResult struct {
 	CorruptAcked    int // acked writes that came back with different bytes
 	FsckErrors      int
 	Checked         bool // the invariant audit ran (false: churn only)
-	Violations      int // invariant violations still standing after convergence
+	Violations      int  // invariant violations still standing after convergence
 	ViolationDetail []string
 	// SLO is the per-objective burn state over the run's round windows.
 	// On a passing run each line is deterministic under a fixed seed

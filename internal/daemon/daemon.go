@@ -47,6 +47,7 @@ import (
 
 	"past/internal/admit"
 	"past/internal/cachengine"
+	"past/internal/ec"
 	"past/internal/id"
 	"past/internal/logstore"
 	"past/internal/obs"
@@ -106,6 +107,9 @@ func Run(args []string) int {
 		cacheNeg    = fs.Int("cache-negative", 0, "cache engine: negative-cache entries — repeated lookups for absent files answer locally (0: off)")
 		cacheFlash  = fs.String("cache-flash", "0", "cache engine: flash-tier capacity (e.g. 256MB); spills RAM evictions into segments under <data>/flashcache (0: off; needs -data)")
 		cacheFlSeg  = fs.String("cache-flash-segment", "4MB", "cache engine: flash segment rotation target")
+
+		ecMode   = fs.String("ec", "", "erasure-coded storage mode: m,n (e.g. 4,2) RS-codes inserts into m data + n parity fragments spread over the leaf set, k-replicating only the fragment map (empty: plain k-way replication)")
+		ecBudget = fs.String("ec-repair-budget", "0", "erasure coding: per-maintenance-pass byte cap on lazy fragment repair (e.g. 256KB); 0: uncapped")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -145,6 +149,20 @@ func Run(args []string) int {
 	cfg.Pastry.L = *leafSet
 	cfg.Pastry.HopTimeout = *hopTimeout
 	cfg.PartialInsert = *partial
+	if *ecMode != "" {
+		p, err := ec.ParseParams(*ecMode)
+		if err != nil {
+			log.Printf("pastd: -ec: %v", err)
+			return 1
+		}
+		cfg.ECMode = &p
+		budget, err := parseSize(*ecBudget)
+		if err != nil {
+			log.Printf("pastd: -ec-repair-budget: %v", err)
+			return 1
+		}
+		cfg.ECRepairBudget = budget
+	}
 	var tracer *obs.Tracer
 	if *traceEvery > 0 {
 		tracer = obs.NewTracer(*traceEvery, *traceKeep)

@@ -1,0 +1,332 @@
+// Package ec makes erasure coding a first-class storage mode: the
+// node-level subsystem the paper sketches as future work in section 3.6
+// and internal/frag only emulates client-side. An object inserted in EC
+// mode is RS(m, n)-coded by the root node into m data + n parity
+// fragments placed on distinct leaf-set members; a fragment map —
+// fileId, object size, coding parameters, per-fragment checksums, and
+// holders — is stored as the k-replicated root object, so the map
+// inherits PAST's replica maintenance while the bulk data pays only
+// (m+n)/m storage overhead. Lookups reconstruct from any m fragments.
+//
+// The piece that makes this a subsystem rather than a codec is the lazy
+// repair engine (see the queue in this package and the maintenance hook
+// in internal/past): fragment-level anti-entropy detects missing or
+// corrupt fragments (CRC-verified on every read, like the logstore),
+// enqueues them on a per-node repair queue with deterministic seeded
+// scheduling and a configurable per-pass bandwidth cap, re-encodes the
+// lost fragment from m survivors, and re-places it.
+package ec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"past/internal/id"
+)
+
+// Params is one RS(m, n) configuration: Data (m) data fragments plus
+// Parity (n) parity fragments. Any Data fragments reconstruct the
+// object; storage overhead is (m+n)/m.
+type Params struct {
+	Data   int
+	Parity int
+}
+
+// Validate checks the shard counts against the GF(2^8) coder's bounds.
+func (p Params) Validate() error {
+	if p.Data <= 0 || p.Parity <= 0 || p.Data+p.Parity > 255 {
+		return fmt.Errorf("ec: invalid params rs(%d,%d)", p.Data, p.Parity)
+	}
+	return nil
+}
+
+// Total returns Data+Parity, the fragment count per object.
+func (p Params) Total() int { return p.Data + p.Parity }
+
+// Overhead returns the storage multiplier (m+n)/m.
+func (p Params) Overhead() float64 { return float64(p.Total()) / float64(p.Data) }
+
+func (p Params) String() string { return fmt.Sprintf("rs(%d,%d)", p.Data, p.Parity) }
+
+// ParseParams parses the CLI form "m,n" (e.g. "4,2").
+func ParseParams(s string) (Params, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 2 {
+		return Params{}, fmt.Errorf("ec: want m,n (e.g. 4,2), got %q", s)
+	}
+	m, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	n, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil {
+		return Params{}, fmt.Errorf("ec: want m,n (e.g. 4,2), got %q", s)
+	}
+	p := Params{Data: m, Parity: n}
+	return p, p.Validate()
+}
+
+// castagnoli is the CRC32-C table, the same polynomial the logstore
+// uses for its record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32-C of a fragment payload.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// Fragment is one stored shard of an erasure-coded object.
+type Fragment struct {
+	File    id.File
+	Index   int
+	Version uint32
+	Data    []byte
+	CRC     uint32 // CRC32-C of Data, computed at encode time
+}
+
+// Map is the fragment map stored (k-replicated) under the object's
+// fileId: everything a node needs to reconstruct the object or repair a
+// fragment. Version increments on every re-placement so stale maps lose
+// to repaired ones.
+type Map struct {
+	File      id.File
+	Size      int64 // original object size
+	Data      int   // RS data shards (m)
+	Parity    int   // RS parity shards (n)
+	ShardSize int   // bytes per fragment
+	Version   uint32
+	Holders   []id.Node // Holders[i] holds fragment i
+	CRCs      []uint32  // CRCs[i] is fragment i's CRC32-C
+}
+
+const mapMagic = "PASTECM1"
+
+// Params returns the map's coding parameters.
+func (m *Map) Params() Params { return Params{Data: m.Data, Parity: m.Parity} }
+
+// Encode serializes the map; the result is the content of the
+// k-replicated root object.
+func (m *Map) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString(mapMagic)
+	b.Write(m.File[:])
+	binary.Write(&b, binary.BigEndian, m.Size)
+	binary.Write(&b, binary.BigEndian, int32(m.Data))
+	binary.Write(&b, binary.BigEndian, int32(m.Parity))
+	binary.Write(&b, binary.BigEndian, int32(m.ShardSize))
+	binary.Write(&b, binary.BigEndian, m.Version)
+	binary.Write(&b, binary.BigEndian, int32(len(m.Holders)))
+	for i := range m.Holders {
+		b.Write(m.Holders[i][:])
+		binary.Write(&b, binary.BigEndian, m.CRCs[i])
+	}
+	return b.Bytes()
+}
+
+// IsMap reports whether raw looks like an encoded fragment map — the
+// test the lookup and maintenance paths use to recognize an EC root
+// object among ordinary replicas.
+func IsMap(raw []byte) bool {
+	return len(raw) > len(mapMagic) && string(raw[:len(mapMagic)]) == mapMagic
+}
+
+// MaxMapSize bounds Encode's output over all valid parameters (255
+// holders). Content-on-demand store engines list metadata-only entries;
+// this lets the maintenance scan rule out large replicas without
+// loading their bytes just to test IsMap.
+var MaxMapSize = int64(len(mapMagic) + len(id.File{}) + 28 + 255*(len(id.Node{})+4))
+
+// DecodeMap parses an encoded fragment map.
+func DecodeMap(raw []byte) (*Map, error) {
+	if !IsMap(raw) {
+		return nil, fmt.Errorf("ec: not a fragment map")
+	}
+	r := bytes.NewReader(raw[len(mapMagic):])
+	var m Map
+	if _, err := r.Read(m.File[:]); err != nil {
+		return nil, fmt.Errorf("ec: truncated map")
+	}
+	var data, parity, shard, holders int32
+	for _, dst := range []any{&m.Size, &data, &parity, &shard, &m.Version, &holders} {
+		if err := binary.Read(r, binary.BigEndian, dst); err != nil {
+			return nil, fmt.Errorf("ec: truncated map")
+		}
+	}
+	m.Data, m.Parity, m.ShardSize = int(data), int(parity), int(shard)
+	if err := m.Params().Validate(); err != nil {
+		return nil, err
+	}
+	if int(holders) != m.Params().Total() || m.ShardSize <= 0 || m.Size <= 0 {
+		return nil, fmt.Errorf("ec: malformed map")
+	}
+	m.Holders = make([]id.Node, holders)
+	m.CRCs = make([]uint32, holders)
+	for i := range m.Holders {
+		if _, err := r.Read(m.Holders[i][:]); err != nil {
+			return nil, fmt.Errorf("ec: truncated map")
+		}
+		if err := binary.Read(r, binary.BigEndian, &m.CRCs[i]); err != nil {
+			return nil, fmt.Errorf("ec: truncated map")
+		}
+	}
+	return &m, nil
+}
+
+type fragKey struct {
+	file id.File
+	idx  int
+}
+
+// FragStore is a node's local fragment table. Fragments are bulk data
+// held on behalf of an object rooted elsewhere — deliberately volatile
+// (a crashed node loses them, and lazy repair re-creates them from
+// survivors), unlike the fragment map, which rides the durable replica
+// store. Reads verify the CRC; a corrupt fragment is dropped on read
+// and reported missing, turning silent corruption into a repair.
+type FragStore struct {
+	mu          sync.Mutex
+	frags       map[fragKey]*Fragment
+	bytes       int64
+	reads       int64
+	crcFailures int64
+}
+
+// NewFragStore creates an empty fragment table.
+func NewFragStore() *FragStore {
+	return &FragStore{frags: make(map[fragKey]*Fragment)}
+}
+
+// Put stores (or replaces) a fragment.
+func (s *FragStore) Put(f Fragment) {
+	k := fragKey{f.File, f.Index}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.frags[k]; ok {
+		s.bytes -= int64(len(old.Data))
+	}
+	cp := f
+	cp.Data = append([]byte(nil), f.Data...)
+	s.frags[k] = &cp
+	s.bytes += int64(len(cp.Data))
+}
+
+// Get returns the fragment, CRC-verified. A checksum mismatch deletes
+// the fragment and reports it missing — the caller's repair machinery
+// takes it from there.
+func (s *FragStore) Get(file id.File, idx int) (Fragment, bool) {
+	k := fragKey{file, idx}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frags[k]
+	if !ok {
+		return Fragment{}, false
+	}
+	s.reads++
+	if Checksum(f.Data) != f.CRC {
+		s.crcFailures++
+		s.bytes -= int64(len(f.Data))
+		delete(s.frags, k)
+		return Fragment{}, false
+	}
+	return *f, true
+}
+
+// Has reports whether the fragment is present with a valid CRC, and its
+// version. Like Get it drops a corrupt fragment, but it does not count
+// as a read.
+func (s *FragStore) Has(file id.File, idx int) (uint32, bool) {
+	k := fragKey{file, idx}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frags[k]
+	if !ok {
+		return 0, false
+	}
+	if Checksum(f.Data) != f.CRC {
+		s.crcFailures++
+		s.bytes -= int64(len(f.Data))
+		delete(s.frags, k)
+		return 0, false
+	}
+	return f.Version, true
+}
+
+// Delete removes a fragment.
+func (s *FragStore) Delete(file id.File, idx int) {
+	k := fragKey{file, idx}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.frags[k]; ok {
+		s.bytes -= int64(len(f.Data))
+		delete(s.frags, k)
+	}
+}
+
+// DeleteFile removes every fragment of a file (reclaim).
+func (s *FragStore) DeleteFile(file id.File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, f := range s.frags {
+		if k.file == file {
+			s.bytes -= int64(len(f.Data))
+			delete(s.frags, k)
+		}
+	}
+}
+
+// Indices returns the sorted fragment indices held for a file.
+func (s *FragStore) Indices(file id.File) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for k := range s.frags {
+		if k.file == file {
+			out = append(out, k.idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CorruptForTest flips a bit in a stored fragment's payload without
+// touching its CRC — the fault injection hook for corruption tests.
+func (s *FragStore) CorruptForTest(file id.File, idx int) bool {
+	k := fragKey{file, idx}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frags[k]
+	if !ok || len(f.Data) == 0 {
+		return false
+	}
+	f.Data[0] ^= 0x01
+	return true
+}
+
+// Len returns the number of fragments held.
+func (s *FragStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frags)
+}
+
+// Bytes returns the fragment payload bytes held.
+func (s *FragStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Reads returns the number of CRC-verified fragment reads served.
+func (s *FragStore) Reads() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads
+}
+
+// CRCFailures returns how many fragments failed their checksum on read.
+func (s *FragStore) CRCFailures() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crcFailures
+}

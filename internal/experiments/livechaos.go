@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"past/internal/cluster"
+	"past/internal/fleetobs"
 	"past/internal/obs"
 )
 
@@ -49,6 +50,13 @@ type LiveChaosConfig struct {
 	// Check enables the live invariant audit and acked-write
 	// verification after every round.
 	Check bool
+	// EC, when non-empty ("m,n"), runs the fleet in erasure-coded
+	// storage mode; with Check on, the fragment-loss invariant is
+	// audited alongside the replica invariants.
+	EC string
+	// ECRepairBudget caps each daemon's per-pass repair bytes
+	// (empty: uncapped).
+	ECRepairBudget string
 	// Dir is the base directory for node data and captured logs
 	// (empty: temp, removed on success unless Keep).
 	Dir string
@@ -107,13 +115,15 @@ type LiveChaosResult struct {
 func RunLiveChaos(cfg LiveChaosConfig) (*LiveChaosResult, error) {
 	cfg = cfg.withDefaults()
 	cl, err := cluster.Start(cluster.Config{
-		Nodes:   cfg.Nodes,
-		Seed:    cfg.Seed,
-		K:       cfg.K,
-		Dir:     cfg.Dir,
-		Command: cfg.Command,
-		Out:     cfg.Out,
-		Events:  cfg.Events,
+		Nodes:          cfg.Nodes,
+		Seed:           cfg.Seed,
+		K:              cfg.K,
+		EC:             cfg.EC,
+		ECRepairBudget: cfg.ECRepairBudget,
+		Dir:            cfg.Dir,
+		Command:        cfg.Command,
+		Out:            cfg.Out,
+		Events:         cfg.Events,
 	})
 	if err != nil {
 		return nil, err
@@ -128,6 +138,9 @@ func RunLiveChaos(cfg LiveChaosConfig) (*LiveChaosResult, error) {
 		Seed:          cfg.Seed,
 		NoCheck:       !cfg.Check,
 		Out:           cfg.Out,
+	}
+	if cfg.EC != "" {
+		scfg.SLOs = fleetobs.ECScenarioSLOs()
 	}
 	if cfg.Duration > 0 {
 		scfg.Deadline = time.Now().Add(cfg.Duration)

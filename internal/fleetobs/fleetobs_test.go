@@ -144,7 +144,7 @@ func TestBurnRateAndLine(t *testing.T) {
 
 func TestEvaluator(t *testing.T) {
 	e := NewEvaluator(DefaultScenarioSLOs())
-	e.Observe(snap("scenario_acked_total", 50))                                  // clean round
+	e.Observe(snap("scenario_acked_total", 50))                                 // clean round
 	e.Observe(snap("scenario_acked_total", 50, "scenario_acked_lost_total", 1)) // loses a file
 	burns := e.Burns()
 	if len(burns) != 4 {

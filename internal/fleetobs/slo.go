@@ -161,3 +161,17 @@ func DefaultScenarioSLOs() []Objective {
 		{Name: "rpc-latency-p99", Quantile: 99, Threshold: 4 * time.Second, Budget: 0.1},
 	}
 }
+
+// ECScenarioSLOs extends the defaults for erasure-coded fleets: served
+// or repaired fragments must never fail their content checksum (lazy
+// repair refuses to re-place a shard whose rebuild mismatches the map
+// CRC, so corruption spreading is a zero-tolerance objective), and
+// repairs must not be starved outright — some enqueued repairs may
+// legitimately retry across rounds, but a fleet that fails every
+// repair it attempts is burning its durability margin.
+func ECScenarioSLOs() []Objective {
+	return append(DefaultScenarioSLOs(),
+		Objective{Name: "ec-crc-corruption", Bad: "ec_crc_failures_total", Budget: 0},
+		Objective{Name: "ec-repair-starvation", Bad: "ec_repairs_failed_total", Total: "ec_repairs_enqueued_total", MaxRatio: 0.9, Budget: 0.34},
+	)
+}

@@ -223,12 +223,19 @@ type Result struct {
 	Cache CacheSummary
 }
 
-// CacheSummary sums cache-engine tier counters across a cluster.
+// CacheSummary sums cache-engine tier counters across a cluster. In
+// erasure-coded runs (SimConfig.EC) it also carries the fragment-level
+// serving counters: FragHits are CRC-verified fragment reads served
+// from holders' fragment stores, FragCRCDrops corrupt copies detected
+// and discarded on read, and Reconstructs whole-object rebuilds from
+// m-of-n fragments.
 type CacheSummary struct {
 	RAMHits, FlashHits, Misses int64
 	Evictions                  int64
 	AdmitRejects, NegHits      int64
 	FlashSpills, FlashSegDrops int64
+	FragHits, FragCRCDrops     int64
+	Reconstructs               int64
 }
 
 // HitRate is (RAM + flash hits) / all cache probes, or 0 with no

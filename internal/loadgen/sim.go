@@ -12,7 +12,9 @@ import (
 
 	"past/internal/admit"
 	"past/internal/cachengine"
+	"past/internal/ec"
 	"past/internal/id"
+	"past/internal/obs"
 	"past/internal/past"
 	"past/internal/pastry"
 	"past/internal/stats"
@@ -73,6 +75,13 @@ type SimConfig struct {
 	// bytes it holds, so flash experiments need this on. Off by default:
 	// the legacy experiments account sizes only.
 	Payloads bool
+	// EC, when non-nil, runs the cluster in erasure-coded storage mode:
+	// inserts are RS(Data, Parity)-coded into fragments and lookups
+	// reconstruct from any Data of them. Forces Payloads (content-free
+	// inserts cannot be coded). The fingerprint is sensitive to this
+	// knob — reconstruction changes hop accounting — so
+	// fingerprint-compared experiments must hold it fixed.
+	EC *ec.Params
 }
 
 func (sc SimConfig) withDefaults() SimConfig {
@@ -119,6 +128,10 @@ func RunSim(sc SimConfig) (*Result, error) {
 	cfg.Pastry = pastry.Config{B: 4, L: 16}
 	cfg.K = 3
 	cfg.CacheEngine = sc.Cache
+	if sc.EC != nil {
+		cfg.ECMode = sc.EC
+		sc.Payloads = true
+	}
 	spec := past.ClusterSpec{
 		N:        sc.Nodes,
 		Cfg:      cfg,
@@ -243,6 +256,12 @@ func RunSim(sc SimConfig) (*Result, error) {
 		res.Cache.NegHits += st.NegHits
 		res.Cache.FlashSpills += st.FlashSpills
 		res.Cache.FlashSegDrops += st.FlashSegDrops
+		if sc.EC != nil {
+			snap := n.StatsSnapshot()
+			res.Cache.FragHits += snap.Get(obs.CtrECFragReads)
+			res.Cache.FragCRCDrops += snap.Get(obs.CtrECCRCFailures)
+			res.Cache.Reconstructs += snap.Get(obs.CtrECReconstructs)
+		}
 		n.Cache().Close()
 	}
 	return res, nil

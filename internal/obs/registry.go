@@ -142,6 +142,23 @@ const (
 	CtrCacheFlashBytes    = "cachengine_flash_bytes"
 	CtrCacheFlashEntries  = "cachengine_flash_entries"
 	CtrCacheShards        = "cachengine_shards"
+
+	// Erasure-coding counters (internal/ec). The fragment store and the
+	// lazy repair queue own the values; the node folds them in through
+	// CounterSource so repair depth/bytes show up in /metrics, the stats
+	// RPC, and fleet SLO evaluation.
+	CtrECFragments      = "ec_fragments"
+	CtrECFragmentBytes  = "ec_fragment_bytes"
+	CtrECFragReads      = "ec_fragment_reads_total"
+	CtrECCRCFailures    = "ec_crc_failures_total"
+	CtrECInserts        = "ec_inserts_total"
+	CtrECReconstructs   = "ec_reconstructs_total"
+	CtrECRepairDepth    = "ec_repair_queue_depth"
+	CtrECRepairEnqueued = "ec_repairs_enqueued_total"
+	CtrECRepairDone     = "ec_repairs_done_total"
+	CtrECRepairFailed   = "ec_repairs_failed_total"
+	CtrECRepairDeferred = "ec_repairs_deferred_total"
+	CtrECRepairBytes    = "ec_repair_bytes_total"
 )
 
 // CounterSource lets a subsystem contribute named counters to a node's

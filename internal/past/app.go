@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"past/internal/ec"
 	"past/internal/id"
 	"past/internal/netsim"
 	"past/internal/obs"
@@ -141,6 +142,16 @@ func (n *Node) deliver(tc obs.TraceContext, from id.Node, msg any) (any, error) 
 		return n.handlePointerCheck(m), nil
 	case *divertedHolderLeaving:
 		return n.handleDivertedHolderLeaving(m), nil
+	case *storeFragMsg:
+		return n.handleStoreFrag(m), nil
+	case *fetchFragMsg:
+		return n.handleFetchFrag(m), nil
+	case *checkFragMsg:
+		return n.handleCheckFrag(m), nil
+	case *dropFragMsg:
+		return n.handleDropFrag(m), nil
+	case *mapUpdateMsg:
+		return n.handleMapUpdate(m), nil
 	case *ClientInsert, *ClientLookup, *ClientReclaim:
 		// Mutating/serving client RPCs queue at the admission gate
 		// (blocking mode: the TCP server has a real caller to park).
@@ -187,6 +198,12 @@ func (n *Node) localLookup(f id.File) *LookupReply {
 	n.mu.Lock()
 	if e, ok := n.store.Get(f); ok {
 		n.mu.Unlock()
+		if ec.IsMap(e.Content) {
+			// Erasure-coded object: reconstruct from any m fragments. A
+			// failed reconstruction (too few fragments reachable right
+			// now) lets routing continue toward other map holders.
+			return n.ecReconstruct(e)
+		}
 		return &LookupReply{Found: true, Size: e.Size, Content: e.Content, Cert: e.Cert}
 	}
 	if size, content, ok := n.cache.Get(f); ok {
@@ -199,6 +216,12 @@ func (n *Node) localLookup(f id.File) *LookupReply {
 		res, err := n.net.Invoke(context.Background(), n.ID(), p.Target, &fetchMsg{File: f})
 		if err == nil {
 			if fr := res.(*fetchReply); fr.Found {
+				if ec.IsMap(fr.Content) {
+					// The pointer led to a diverted fragment-map replica:
+					// reconstruct the object rather than serving raw map
+					// bytes.
+					return n.ecReconstruct(store.Entry{File: f, Size: fr.Size, Content: fr.Content, Cert: fr.Cert})
+				}
 				return &LookupReply{Found: true, Size: fr.Size, Content: fr.Content,
 					Cert: fr.Cert, ExtraHops: 1}
 			}

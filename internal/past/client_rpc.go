@@ -79,6 +79,13 @@ type ReplicaHold struct {
 	Primary bool    // the replica is primary (meaningful when Has)
 	HasPtr  bool    // node holds a diverted-replica pointer
 	Ptr     id.Node // the pointer target (meaningful when HasPtr)
+	// Erasure-coding state: when the held replica is a fragment map,
+	// ECTotal > 0 carries the coding shape; Frags lists the fragment
+	// indices this node holds locally (independent of Has — fragment
+	// holders usually don't replicate the map).
+	ECData  int
+	ECTotal int
+	Frags   []int
 }
 
 // ClientReplicaReportReply carries the per-file holds, parallel to the
@@ -148,6 +155,10 @@ func (n *Node) handleClientRPC(tc obs.TraceContext, msg any) (any, error) {
 			if tgt, ok := n.HasPointer(f); ok {
 				h.HasPtr, h.Ptr = true, tgt
 			}
+			if data, total, ok := n.ECInfo(f); ok {
+				h.ECData, h.ECTotal = data, total
+			}
+			h.Frags = n.FragIndices(f)
 		}
 		return reply, nil
 	case *ClientStatus:
@@ -191,6 +202,14 @@ func RegisterWire() {
 	gob.Register(&replicaSetQuery{})
 	gob.Register(&replicaSetReply{})
 	gob.Register(&divertedHolderLeaving{})
+	gob.Register(&storeFragMsg{})
+	gob.Register(&storeFragReply{})
+	gob.Register(&fetchFragMsg{})
+	gob.Register(&fetchFragReply{})
+	gob.Register(&checkFragMsg{})
+	gob.Register(&checkFragReply{})
+	gob.Register(&dropFragMsg{})
+	gob.Register(&mapUpdateMsg{})
 	gob.Register(&ackMsg{})
 	gob.Register(&ClientInsert{})
 	gob.Register(&ClientInsertReply{})

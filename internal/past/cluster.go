@@ -233,6 +233,35 @@ func (c *Cluster) PrimaryHolders(f id.File) []id.Node {
 	return out
 }
 
+// ECFile implements chaos.FragmentState: a file's coding parameters,
+// read from any node replicating its fragment map. Dead nodes are
+// consulted too — the parameters are static, and the checker needs them
+// precisely when every map holder is down.
+func (c *Cluster) ECFile(f id.File) (data, total int, ok bool) {
+	for _, n := range c.Nodes {
+		if data, total, ok = n.ECInfo(f); ok {
+			return data, total, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FragmentHolders implements chaos.FragmentState: the live nodes
+// holding each fragment index of f.
+func (c *Cluster) FragmentHolders(f id.File) map[int][]id.Node {
+	out := make(map[int][]id.Node)
+	for _, nid := range c.Net.AliveNodes() {
+		n, ok := c.ByID[nid]
+		if !ok {
+			continue
+		}
+		for _, idx := range n.FragIndices(f) {
+			out[idx] = append(out[idx], nid)
+		}
+	}
+	return out
+}
+
 // GlobalClosest returns the k live nodes numerically closest to key, by
 // brute force — ground truth for invariant checks.
 func (c *Cluster) GlobalClosest(key id.Node, k int) []id.Node {

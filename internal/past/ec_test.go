@@ -1,0 +1,254 @@
+package past
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"past/internal/chaos"
+	"past/internal/ec"
+	"past/internal/id"
+)
+
+func newECCluster(t *testing.T, n int, p ec.Params, budget int64) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.K = 3
+	cfg.ECMode = &p
+	cfg.ECRepairBudget = budget
+	c, err := NewCluster(ClusterSpec{
+		N:        n,
+		Cfg:      cfg,
+		Capacity: func(int, *rand.Rand) int64 { return 4 << 20 },
+		Seed:     1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fragHolderNode returns a live node holding a fragment of f.
+func fragHolderNode(c *Cluster, f id.File) *Node {
+	for _, nid := range c.Net.AliveNodes() {
+		if n := c.ByID[nid]; len(n.FragIndices(f)) > 0 {
+			return n
+		}
+	}
+	return nil
+}
+
+func TestECInsertLookupRoundTrip(t *testing.T) {
+	c := newECCluster(t, 10, ec.Params{Data: 3, Parity: 2}, 0)
+	rng := rand.New(rand.NewSource(5))
+
+	var files []id.File
+	contents := make(map[id.File][]byte)
+	for i := 0; i < 5; i++ {
+		content := make([]byte, 3000+rng.Intn(5000))
+		rng.Read(content)
+		res, err := c.RandomAliveNode().Insert(InsertSpec{Name: fmt.Sprintf("ec-%d", i), Content: content})
+		if err != nil || !res.OK {
+			t.Fatalf("insert %d: %+v, %v", i, res, err)
+		}
+		files = append(files, res.FileID)
+		contents[res.FileID] = content
+	}
+
+	// Every lookup must reconstruct the original bytes.
+	for _, f := range files {
+		res, err := c.RandomAliveNode().Lookup(f)
+		if err != nil || !res.Found {
+			t.Fatalf("lookup %s: %+v, %v", f.Short(), res, err)
+		}
+		if !bytes.Equal(res.Content, contents[f]) {
+			t.Fatalf("lookup %s: content mismatch", f.Short())
+		}
+	}
+
+	// The fragment invariant must hold from the start: all m+n indices
+	// on live nodes, every object reconstructible.
+	ck := &chaos.Checker{K: 3}
+	if v := ck.CheckDurability(c, files, 0); len(v) != 0 {
+		t.Fatalf("durability violations on a healthy cluster: %v", v)
+	}
+	if v := ck.CheckConverged(c, files, 0); len(v) != 0 {
+		t.Fatalf("convergence violations on a healthy cluster: %v", v)
+	}
+
+	// Coding parameters are visible to the checker.
+	data, total, ok := c.ECFile(files[0])
+	if !ok || data != 3 || total != 5 {
+		t.Fatalf("ECFile = (%d, %d, %v), want (3, 5, true)", data, total, ok)
+	}
+	if got := len(c.FragmentHolders(files[0])); got != 5 {
+		t.Fatalf("fragment indices live = %d, want 5", got)
+	}
+}
+
+func TestECLookupDegradesGracefully(t *testing.T) {
+	c := newECCluster(t, 12, ec.Params{Data: 3, Parity: 2}, 0)
+	rng := rand.New(rand.NewSource(6))
+	content := make([]byte, 6000)
+	rng.Read(content)
+	res, err := c.RandomAliveNode().Insert(InsertSpec{Name: "degrade", Content: content})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %+v, %v", res, err)
+	}
+	f := res.FileID
+
+	// Drop parity-many fragments outright (no repair chance: delete the
+	// fragments rather than the nodes, so maintenance sees live holders
+	// and the lookup must hedge past the gaps).
+	dropped := 0
+	for _, n := range c.Nodes {
+		if dropped >= 2 {
+			break
+		}
+		for _, idx := range n.FragIndices(f) {
+			n.frags.Delete(f, idx)
+			dropped++
+		}
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d fragments, want 2", dropped)
+	}
+	lr, err := c.RandomAliveNode().Lookup(f)
+	if err != nil || !lr.Found || !bytes.Equal(lr.Content, content) {
+		t.Fatalf("lookup with m survivors failed: %+v, %v", lr, err)
+	}
+}
+
+func TestECLazyRepairAfterFailure(t *testing.T) {
+	c := newECCluster(t, 12, ec.Params{Data: 3, Parity: 2}, 0)
+	rng := rand.New(rand.NewSource(7))
+	content := make([]byte, 9000)
+	rng.Read(content)
+	res, err := c.RandomAliveNode().Insert(InsertSpec{Name: "repair-me", Content: content})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %+v, %v", res, err)
+	}
+	f := res.FileID
+
+	// Kill a fragment holder. Its fragment is unreachable; anti-entropy
+	// must enqueue it and repair must re-place it on a live node.
+	victim := fragHolderNode(c, f)
+	if victim == nil {
+		t.Fatal("no fragment holder found")
+	}
+	c.Fail(victim.ID())
+	for i := 0; i < 3; i++ {
+		c.MaintainAll()
+	}
+
+	ck := &chaos.Checker{K: 3}
+	if v := ck.CheckConverged(c, []id.File{f}, 1); len(v) != 0 {
+		t.Fatalf("violations after repair: %v", v)
+	}
+	lr, err := c.RandomAliveNode().Lookup(f)
+	if err != nil || !lr.Found || !bytes.Equal(lr.Content, content) {
+		t.Fatalf("lookup after repair: %+v, %v", lr, err)
+	}
+
+	// Some live node must have performed the repair.
+	var repaired int64
+	for _, nid := range c.Net.AliveNodes() {
+		snap := c.ByID[nid].StatsSnapshot()
+		repaired += snap.Get("ec_repairs_done_total")
+	}
+	if repaired == 0 {
+		t.Fatal("no repairs recorded")
+	}
+}
+
+func TestECRepairCorruptFragment(t *testing.T) {
+	c := newECCluster(t, 12, ec.Params{Data: 3, Parity: 2}, 0)
+	rng := rand.New(rand.NewSource(8))
+	content := make([]byte, 5000)
+	rng.Read(content)
+	res, err := c.RandomAliveNode().Insert(InsertSpec{Name: "corrupt-me", Content: content})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %+v, %v", res, err)
+	}
+	f := res.FileID
+
+	holder := fragHolderNode(c, f)
+	idx := holder.FragIndices(f)[0]
+	if !holder.frags.CorruptForTest(f, idx) {
+		t.Fatal("corruption injection failed")
+	}
+	for i := 0; i < 3; i++ {
+		c.MaintainAll()
+	}
+
+	// The CRC failure was detected and the fragment re-created.
+	ck := &chaos.Checker{K: 3}
+	if v := ck.CheckConverged(c, []id.File{f}, 1); len(v) != 0 {
+		t.Fatalf("violations after corrupt-fragment repair: %v", v)
+	}
+	if holder.frags.CRCFailures() == 0 {
+		t.Fatal("corruption was never detected")
+	}
+	lr, err := c.RandomAliveNode().Lookup(f)
+	if err != nil || !lr.Found || !bytes.Equal(lr.Content, content) {
+		t.Fatalf("lookup after corruption repair: %+v, %v", lr, err)
+	}
+}
+
+func TestECFragmentLossInvariantFires(t *testing.T) {
+	c := newECCluster(t, 10, ec.Params{Data: 3, Parity: 2}, 0)
+	rng := rand.New(rand.NewSource(9))
+	content := make([]byte, 4000)
+	rng.Read(content)
+	res, err := c.RandomAliveNode().Insert(InsertSpec{Name: "lose-me", Content: content})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %+v, %v", res, err)
+	}
+	f := res.FileID
+
+	// Delete fragments until fewer than m distinct indices remain; the
+	// checker must call the object lost even while map replicas survive.
+	deleted := 0
+	for _, n := range c.Nodes {
+		for _, idx := range n.FragIndices(f) {
+			if deleted < 3 {
+				n.frags.Delete(f, idx)
+				deleted++
+			}
+		}
+	}
+	if deleted != 3 {
+		t.Fatalf("deleted %d fragments, want 3", deleted)
+	}
+	ck := &chaos.Checker{K: 3}
+	v := ck.CheckDurability(c, []id.File{f}, 0)
+	found := false
+	for _, viol := range v {
+		if viol.Kind == chaos.ViolationFragmentsLost {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fragment-loss violation not raised: %v", v)
+	}
+}
+
+func TestECReclaimDropsFragments(t *testing.T) {
+	c := newECCluster(t, 10, ec.Params{Data: 3, Parity: 2}, 0)
+	rng := rand.New(rand.NewSource(10))
+	content := make([]byte, 4500)
+	rng.Read(content)
+	ap := c.RandomAliveNode()
+	res, err := ap.Insert(InsertSpec{Name: "reclaim-me", Content: content})
+	if err != nil || !res.OK {
+		t.Fatalf("insert: %+v, %v", res, err)
+	}
+	f := res.FileID
+	if _, err := ap.Reclaim(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.FragmentHolders(f)); got != 0 {
+		t.Fatalf("%d fragment indices survive reclaim", got)
+	}
+}

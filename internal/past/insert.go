@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"past/internal/cert"
+	"past/internal/ec"
 	"past/internal/id"
 	"past/internal/netsim"
 	"past/internal/obs"
@@ -269,6 +270,20 @@ func (n *Node) coordinateInsert(key id.Node, m *InsertMsg) *InsertReply {
 		}
 	}
 
+	// Erasure-coded mode: fragment the object over the leaf set and
+	// k-replicate only the fragment map (see ec.go). Content-free
+	// inserts (size-only trace accounting) cannot be coded and fall
+	// through to plain replication, as does map content itself.
+	if n.cfg.ECMode != nil && len(m.Content) > 0 && !ec.IsMap(m.Content) {
+		return n.coordinateECInsert(key, m)
+	}
+	return n.replicateInsert(key, m)
+}
+
+// replicateInsert is the k-way replication fan-out shared by plain
+// inserts and the EC coordinator (which replicates the fragment map
+// through it).
+func (n *Node) replicateInsert(key id.Node, m *InsertMsg) *InsertReply {
 	members := n.overlay.ReplicaSet(key, m.K)
 	rep := &InsertReply{}
 	var stored []id.Node

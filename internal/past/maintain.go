@@ -156,6 +156,13 @@ func (n *Node) maintainOnce() {
 			n.migratePointerHome(p)
 		}
 	}
+
+	// Fragment-level anti-entropy + lazy repair for erasure-coded
+	// objects whose map this node leads (nil frags only on bare
+	// struct-literal nodes in tests).
+	if n.frags != nil {
+		n.ecMaintain()
+	}
 }
 
 // containsNode reports whether ids includes nid.

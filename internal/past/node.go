@@ -30,6 +30,7 @@ import (
 	"past/internal/cache"
 	"past/internal/cachengine"
 	"past/internal/cert"
+	"past/internal/ec"
 	"past/internal/id"
 	"past/internal/netsim"
 	"past/internal/obs"
@@ -102,6 +103,18 @@ type Config struct {
 	// node (every Nth, deterministically) and records their per-hop
 	// route traces. Nil traces nothing and costs nothing.
 	Tracer *obs.Tracer
+	// ECMode, when non-nil, switches inserts to erasure-coded storage:
+	// the coordinator RS(Data, Parity)-encodes the object, spreads the
+	// fragments over distinct leaf-set members, and k-replicates only a
+	// fragment map. Lookups reconstruct from any Data fragments; lost
+	// fragments are re-created by the lazy repair engine during
+	// maintenance. Nil keeps pure k-way replication.
+	ECMode *ec.Params
+	// ECRepairBudget caps the bytes one maintenance pass may spend on
+	// fragment repair (fetching survivors plus placing the rebuilt
+	// shard). Work beyond the cap is deferred to later passes. Zero
+	// means uncapped.
+	ECRepairBudget int64
 	// Admit, when non-nil, enables per-node admission control: routed
 	// client work (lookups, inserts, reclaims arriving over the
 	// network) and client RPCs are gated by a token bucket with a
@@ -199,6 +212,14 @@ type Node struct {
 	rng   *rand.Rand
 	retry retryState
 
+	// erasure-coded storage (always initialized; active when
+	// Config.ECMode is set, but any node can hold fragments and serve
+	// repair for objects inserted by EC-mode coordinators)
+	frags          *ec.FragStore
+	repairq        *ec.RepairQueue
+	ecInserts      int64 // EC-coordinated inserts (under mu)
+	ecReconstructs int64 // lookups served by fragment reconstruction (under mu)
+
 	// admission control (nil when Config.Admit is nil)
 	admitCtl *admit.Controller
 	// loadHints caches the most recent admission-load hint piggybacked
@@ -259,12 +280,19 @@ func NewWithStoreEngine(nid id.Node, net netsim.Net, cfg Config, backend store.B
 	if err != nil {
 		return nil, fmt.Errorf("past: cache engine: %w", err)
 	}
+	if cfg.ECMode != nil {
+		if err := cfg.ECMode.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	n := &Node{
-		cfg:   cfg,
-		stats: &obs.NodeStats{},
-		store: backend,
-		cache: eng,
-		rng:   rand.New(rand.NewSource(seed)),
+		cfg:     cfg,
+		stats:   &obs.NodeStats{},
+		store:   backend,
+		cache:   eng,
+		rng:     rand.New(rand.NewSource(seed)),
+		frags:   ec.NewFragStore(),
+		repairq: ec.NewRepairQueue(seed ^ 0xec0de),
 	}
 	// Both layers share the instrumented view of the network, so every
 	// outgoing RPC — routing, maintenance, diversion — is accounted.
@@ -427,6 +455,15 @@ func (n *Node) StatsSnapshot() obs.Snapshot {
 		snap.Set(name, v)
 	}
 	snap.Set(obs.CtrBelowKEvents, n.belowK)
+	snap.Set(obs.CtrECFragments, int64(n.frags.Len()))
+	snap.Set(obs.CtrECFragmentBytes, n.frags.Bytes())
+	snap.Set(obs.CtrECFragReads, n.frags.Reads())
+	snap.Set(obs.CtrECCRCFailures, n.frags.CRCFailures())
+	snap.Set(obs.CtrECInserts, n.ecInserts)
+	snap.Set(obs.CtrECReconstructs, n.ecReconstructs)
+	for name, v := range n.repairq.ObsCounters() {
+		snap.Set(name, v)
+	}
 	// Backends with their own instrumentation (the log-structured store)
 	// export it through the same snapshot.
 	if src, ok := n.store.(obs.CounterSource); ok {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"past/internal/cert"
+	"past/internal/ec"
 	"past/internal/id"
 	"past/internal/store"
 )
@@ -89,6 +90,19 @@ func (n *Node) ReclaimContext(ctx context.Context, f id.File, owner *cert.Smartc
 // pointer) to discard their replicas and pointers.
 func (n *Node) coordinateReclaim(key id.Node, m *ReclaimMsg) *ReclaimReply {
 	rep := &ReclaimReply{}
+	// An erasure-coded object also has fragments spread over the leaf
+	// set; reclaim them before the map replicas disappear.
+	n.mu.Lock()
+	e, held := n.store.Get(m.File)
+	n.mu.Unlock()
+	if held && ec.IsMap(e.Content) {
+		if fmap, err := ec.DecodeMap(e.Content); err == nil {
+			for idx, h := range fmap.Holders {
+				n.ecDropFragAt(h, m.File, idx)
+				rep.Freed += int64(fmap.ShardSize)
+			}
+		}
+	}
 	// k+1 to reach the backup-pointer node C as well.
 	for _, member := range n.overlay.ReplicaSet(key, n.cfg.K+1) {
 		var dr *discardReply

@@ -207,3 +207,19 @@ func (n *Node) ReplicaSet(key id.Node, k int) []id.Node {
 	}
 	return cands
 }
+
+// FragmentTargets returns up to want distinct nodes for erasure-coded
+// fragment placement: the leaf set plus this node, ordered numerically
+// closest to key. Unlike ReplicaSet it is not bounded by k — an EC
+// object spreads m+n fragments across as much of the leaf set as the
+// coding needs, so a single node loss costs at most one fragment.
+func (n *Node) FragmentTargets(key id.Node, want int) []id.Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cands := append(n.leafSetLocked(), n.self)
+	sort.Slice(cands, func(i, j int) bool { return key.Closer(cands[i], cands[j]) })
+	if len(cands) > want {
+		cands = cands[:want]
+	}
+	return cands
+}

@@ -13,6 +13,7 @@ package rs
 import (
 	"errors"
 	"fmt"
+	"io"
 )
 
 // Arithmetic over GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11b
@@ -20,6 +21,11 @@ import (
 var (
 	expTable [512]byte
 	logTable [256]byte
+	// mulTable[a][b] = a*b over GF(2^8). The row mulTable[coef] turns
+	// the coder's inner loops into a single table lookup per byte —
+	// no zero tests, no log/exp index arithmetic — which is where all
+	// the encode and reconstruct time goes.
+	mulTable [256][256]byte
 )
 
 func init() {
@@ -36,6 +42,11 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			mulTable[a][b] = expTable[int(logTable[a])+int(logTable[b])]
+		}
 	}
 }
 
@@ -189,9 +200,10 @@ func (e *Encoder) Encode(shards [][]byte) error {
 			if coef == 0 {
 				continue
 			}
+			mul := &mulTable[coef]
 			src := shards[d]
 			for i := range out {
-				out[i] ^= gfMul(coef, src[i])
+				out[i] ^= mul[src[i]]
 			}
 		}
 	}
@@ -215,9 +227,10 @@ func (e *Encoder) Verify(shards [][]byte) (bool, error) {
 			if coef == 0 {
 				continue
 			}
+			mul := &mulTable[coef]
 			src := shards[d]
 			for i := range tmp {
-				tmp[i] ^= gfMul(coef, src[i])
+				tmp[i] ^= mul[src[i]]
 			}
 		}
 		for i := range tmp {
@@ -275,9 +288,10 @@ func (e *Encoder) Reconstruct(shards [][]byte) error {
 			if coef == 0 {
 				continue
 			}
+			mul := &mulTable[coef]
 			src := subShards[c]
 			for i := range out {
-				out[i] ^= gfMul(coef, src[i])
+				out[i] ^= mul[src[i]]
 			}
 		}
 		shards[d] = out
@@ -295,14 +309,129 @@ func (e *Encoder) Reconstruct(shards [][]byte) error {
 			if coef == 0 {
 				continue
 			}
+			mul := &mulTable[coef]
 			src := shards[d]
 			for i := range out {
-				out[i] ^= gfMul(coef, src[i])
+				out[i] ^= mul[src[i]]
 			}
 		}
 		shards[idx] = out
 	}
 	return nil
+}
+
+// ReconstructInto rebuilds ONLY shard idx from any dataShards present
+// shards, writing the result into dst (which must be shard-sized).
+// Unlike Reconstruct it never materializes the other missing shards:
+// the target shard — data or parity — is a single matrix row applied
+// to the survivors, which is what a fragment repair wants (re-create
+// one lost fragment from m survivors without decoding the whole file).
+// shards[idx] is ignored; it may be nil or stale.
+func (e *Encoder) ReconstructInto(shards [][]byte, idx int, dst []byte) error {
+	if err := e.checkShards(shards, true); err != nil {
+		return err
+	}
+	if idx < 0 || idx >= e.TotalShards() {
+		return fmt.Errorf("%w: shard index %d of %d", ErrInvalidShards, idx, e.TotalShards())
+	}
+	// Pick dataShards surviving rows (never the target itself) and
+	// invert that submatrix.
+	subM := make([][]byte, 0, e.dataShards)
+	subShards := make([][]byte, 0, e.dataShards)
+	per := -1
+	for i := 0; i < e.TotalShards() && len(subM) < e.dataShards; i++ {
+		if i == idx || shards[i] == nil {
+			continue
+		}
+		subM = append(subM, append([]byte(nil), e.m[i]...))
+		subShards = append(subShards, shards[i])
+		per = len(shards[i])
+	}
+	if len(subM) < e.dataShards {
+		return fmt.Errorf("%w: need %d survivors besides shard %d", ErrTooFewShards, e.dataShards, idx)
+	}
+	if len(dst) != per {
+		return fmt.Errorf("%w: dst is %d bytes, shards are %d", ErrShardSize, len(dst), per)
+	}
+	dec, err := invert(subM)
+	if err != nil {
+		return fmt.Errorf("rs: reconstruct-into: %w", err)
+	}
+	// Coefficient row of the target shard over the survivors: for a data
+	// shard it is a row of the decoder; for a parity shard, the parity's
+	// coding row composed with the decoder.
+	coefs := make([]byte, e.dataShards)
+	if idx < e.dataShards {
+		copy(coefs, dec[idx])
+	} else {
+		row := e.m[idx]
+		for c := 0; c < e.dataShards; c++ {
+			var acc byte
+			for k := 0; k < e.dataShards; k++ {
+				acc ^= gfMul(row[k], dec[k][c])
+			}
+			coefs[c] = acc
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for c, coef := range coefs {
+		if coef == 0 {
+			continue
+		}
+		mul := &mulTable[coef]
+		src := subShards[c]
+		for i := range dst {
+			dst[i] ^= mul[src[i]]
+		}
+	}
+	return nil
+}
+
+// StreamEncode reads src in groups of dataShards x shardSize bytes,
+// encodes each group, and hands the complete shard set (dataShards
+// data + parityShards parity, each shardSize long; the final group is
+// zero-padded) to emit. The shard buffers are reused between groups —
+// emit must copy anything it keeps. This is the insert path's coder:
+// an object streams through in fragment-sized groups without the whole
+// file and its parity ever being resident at once.
+func (e *Encoder) StreamEncode(src io.Reader, shardSize int, emit func(group int, shards [][]byte) error) error {
+	if shardSize <= 0 {
+		return fmt.Errorf("%w: shard size %d", ErrShardSize, shardSize)
+	}
+	shards := make([][]byte, e.TotalShards())
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+	}
+	buf := make([]byte, e.dataShards*shardSize)
+	for group := 0; ; group++ {
+		n, err := io.ReadFull(src, buf)
+		if n == 0 {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			return err
+		}
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return err
+		}
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		for d := 0; d < e.dataShards; d++ {
+			copy(shards[d], buf[d*shardSize:(d+1)*shardSize])
+		}
+		if eerr := e.Encode(shards); eerr != nil {
+			return eerr
+		}
+		if eerr := emit(group, shards); eerr != nil {
+			return eerr
+		}
+		if n < len(buf) {
+			return nil
+		}
+	}
 }
 
 // checkShards validates shard count and sizes. allowNil permits missing
